@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Every figure bench both *prints* its reproduction table and writes it to
+``benchmarks/out/<name>.txt`` so the artifacts survive pytest's output
+capture.  Run with ``pytest benchmarks/ --benchmark-only`` and inspect
+``benchmarks/out/`` afterwards (or add ``-s`` to see tables inline).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def emit(name: str, table: str) -> None:
+    """Print a reproduction table and persist it under benchmarks/out."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(table + "\n")
+    print()
+    print(table)

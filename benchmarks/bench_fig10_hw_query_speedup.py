@@ -1,0 +1,13 @@
+"""Figure 10: CM-PuM / CM-PuM-SSD / CM-IFP speedup over CM-SW vs query
+size (128 GB encrypted DB, single query)."""
+
+from _util import emit
+from repro.eval.calibration import QUERY_SIZES
+from repro.eval.experiments import figure10
+from repro.ndp import HardwarePerformanceModel
+
+
+def test_emit_figure10(benchmark):
+    emit("figure10", figure10())
+    model = HardwarePerformanceModel()
+    benchmark(model.figure10, list(QUERY_SIZES))

@@ -1,0 +1,12 @@
+"""Figure 11: hardware-system energy reduction over CM-SW vs query size."""
+
+from _util import emit
+from repro.eval.calibration import QUERY_SIZES
+from repro.eval.experiments import figure11
+from repro.ndp import HardwareEnergyModel
+
+
+def test_emit_figure11(benchmark):
+    emit("figure11", figure11())
+    model = HardwareEnergyModel()
+    benchmark(model.figure11, list(QUERY_SIZES))

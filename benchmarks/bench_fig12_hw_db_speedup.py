@@ -1,0 +1,13 @@
+"""Figure 12: hardware-system speedup over CM-SW vs encrypted database
+size (16-bit queries, 1000-query batch)."""
+
+from _util import emit
+from repro.eval.calibration import DATABASE_SIZES
+from repro.eval.experiments import figure12
+from repro.ndp import HardwarePerformanceModel
+
+
+def test_emit_figure12(benchmark):
+    emit("figure12", figure12())
+    model = HardwarePerformanceModel()
+    benchmark(model.figure12, list(DATABASE_SIZES))

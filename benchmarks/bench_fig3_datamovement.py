@@ -1,0 +1,12 @@
+"""Figure 3: transfer latency to CPU / main memory / SSD controller."""
+
+from _util import emit
+from repro.eval.calibration import TRANSFER_SIZES
+from repro.eval.experiments import figure3
+from repro.ndp import TransferLatencyModel
+
+
+def test_emit_figure3(benchmark):
+    emit("figure3", figure3())
+    model = TransferLatencyModel()
+    benchmark(model.sweep, list(TRANSFER_SIZES))

@@ -1,0 +1,13 @@
+"""Figure 7: CM-SW and arithmetic-baseline speedup over the Boolean
+approach vs query size (128 GB encrypted DB, single query)."""
+
+from _util import emit
+from repro.eval.calibration import QUERY_SIZES
+from repro.eval.experiments import figure7
+from repro.eval.models import SoftwareCostModel
+
+
+def test_emit_figure7(benchmark):
+    emit("figure7", figure7())
+    model = SoftwareCostModel()
+    benchmark(model.figure7, list(QUERY_SIZES))

@@ -1,0 +1,13 @@
+"""Figure 8: CM-SW and arithmetic-baseline energy reduction over the
+Boolean approach vs query size."""
+
+from _util import emit
+from repro.eval.calibration import QUERY_SIZES
+from repro.eval.experiments import figure8
+from repro.eval.models import SoftwareCostModel
+
+
+def test_emit_figure8(benchmark):
+    emit("figure8", figure8())
+    model = SoftwareCostModel()
+    benchmark(model.figure8, list(QUERY_SIZES))

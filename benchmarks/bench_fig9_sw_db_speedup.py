@@ -1,0 +1,13 @@
+"""Figure 9: software-family speedups vs encrypted database size
+(16-bit queries, 1000-query batch)."""
+
+from _util import emit
+from repro.eval.calibration import DATABASE_SIZES
+from repro.eval.experiments import figure9
+from repro.eval.models import SoftwareCostModel
+
+
+def test_emit_figure9(benchmark):
+    emit("figure9", figure9())
+    model = SoftwareCostModel()
+    benchmark(model.figure9, list(DATABASE_SIZES))

@@ -1,0 +1,12 @@
+"""Sections 6.3 & 7: CM-IFP overhead analysis (storage, area,
+transposition unit, AES index encryption)."""
+
+from _util import emit
+from repro.eval.experiments import overheads
+from repro.ndp import OverheadReport
+
+
+def test_emit_overheads(benchmark):
+    emit("overheads", overheads())
+    rep = OverheadReport()
+    benchmark(rep.result_buffer_bytes)

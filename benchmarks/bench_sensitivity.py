@@ -1,0 +1,91 @@
+"""Sensitivity analysis: the paper's qualitative conclusions must hold
+when the calibrated model constants move.
+
+Sweeps each fitted constant by +/-50% and checks that the evaluation's
+*orderings and crossovers* (who wins, where) survive — the claims the
+reproduction is accountable for, as opposed to point values.
+"""
+
+import dataclasses
+
+import pytest
+
+from _util import emit
+from repro.eval import format_table
+from repro.eval.calibration import GIB, HardwareFamilyCalibration
+from repro.ndp import HardwarePerformanceModel, HardwareSystem, WorkloadPoint
+
+SCALES = (0.5, 1.0, 1.5)
+
+
+def model_with(**overrides) -> HardwarePerformanceModel:
+    cal = dataclasses.replace(HardwareFamilyCalibration(), **overrides)
+    return HardwarePerformanceModel(cal)
+
+
+def conclusions(model: HardwarePerformanceModel) -> dict:
+    small_q = WorkloadPoint(128 * GIB, 16)
+    large_q = WorkloadPoint(128 * GIB, 256)
+    small_db = WorkloadPoint(8 * GIB, 16, num_queries=1000)
+    large_db = WorkloadPoint(128 * GIB, 16, num_queries=1000)
+    s_small = model.speedups_over_sw(small_q)
+    s_large_db = model.speedups_over_sw(large_db)
+    s_small_db = model.speedups_over_sw(small_db)
+    return {
+        "ifp_wins_small_queries": (
+            s_small[HardwareSystem.CM_IFP] > s_small[HardwareSystem.CM_PUM]
+        ),
+        "ifp_beats_pum_ssd": (
+            s_small[HardwareSystem.CM_IFP] > s_small[HardwareSystem.CM_PUM_SSD]
+        ),
+        "ifp_wins_beyond_dram": (
+            s_large_db[HardwareSystem.CM_IFP] > s_large_db[HardwareSystem.CM_PUM]
+        ),
+        "pum_competitive_below_dram": (
+            s_small_db[HardwareSystem.CM_PUM]
+            > 0.5 * s_small_db[HardwareSystem.CM_IFP]
+        ),
+        "ifp_speedup_decreases_with_y": (
+            model.speedups_over_sw(large_q)[HardwareSystem.CM_IFP]
+            < s_small[HardwareSystem.CM_IFP]
+        ),
+    }
+
+
+SWEPT_CONSTANTS = ("c_sw", "sw_scan_bytes_per_s", "c_pum", "c_pum_ssd")
+
+
+@pytest.mark.parametrize("constant", SWEPT_CONSTANTS)
+@pytest.mark.parametrize("scale", SCALES)
+def test_conclusions_stable(benchmark, constant, scale):
+    base_value = getattr(HardwareFamilyCalibration(), constant)
+    model = model_with(**{constant: base_value * scale})
+    result = benchmark.pedantic(conclusions, args=(model,), rounds=1, iterations=1)
+    assert result["ifp_wins_small_queries"], (constant, scale)
+    assert result["ifp_beats_pum_ssd"], (constant, scale)
+    assert result["ifp_wins_beyond_dram"], (constant, scale)
+
+
+def test_emit_sensitivity_table(benchmark):
+    rows = []
+    for constant in SWEPT_CONSTANTS:
+        base = getattr(HardwareFamilyCalibration(), constant)
+        for scale in SCALES:
+            c = conclusions(model_with(**{constant: base * scale}))
+            rows.append(
+                [
+                    constant,
+                    f"x{scale}",
+                    "yes" if c["ifp_wins_small_queries"] else "NO",
+                    "yes" if c["ifp_wins_beyond_dram"] else "NO",
+                    "yes" if c["ifp_speedup_decreases_with_y"] else "NO",
+                ]
+            )
+    table = format_table(
+        "Sensitivity: paper conclusions under +/-50% calibration shifts",
+        ["constant", "scale", "IFP wins @16b", "IFP wins >32GB", "IFP dec. in y"],
+        rows,
+        paper_note="fitted constants perturbed; orderings/crossovers must hold",
+    )
+    emit("sensitivity", table)
+    benchmark(lambda: None)

@@ -1,0 +1,16 @@
+"""Table 1: qualitative comparison of prior approaches."""
+
+from _util import emit
+from repro.eval.experiments import table1
+
+
+def test_emit_table1(benchmark):
+    emit("table1", table1())
+    benchmark(table1)
+
+
+def test_emit_table1_functional(benchmark):
+    from repro.eval.experiments import table1_functional
+
+    emit("table1_functional", table1_functional())
+    benchmark.pedantic(table1_functional, rounds=1, iterations=1)

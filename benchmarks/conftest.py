@@ -1,0 +1,38 @@
+"""Benchmark fixtures: paper-parameter HE contexts and keys, built once."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.he import BFVContext, BFVParams, KeyGenerator
+
+
+@pytest.fixture(scope="session")
+def paper_params():
+    return BFVParams.paper()
+
+
+@pytest.fixture(scope="session")
+def paper_ctx(paper_params):
+    return BFVContext(paper_params, seed=1)
+
+
+@pytest.fixture(scope="session")
+def paper_keys(paper_params):
+    gen = KeyGenerator(paper_params, seed=1)
+    sk = gen.secret_key()
+    return sk, gen.public_key(sk)
+
+
+@pytest.fixture(scope="session")
+def paper_ciphertexts(paper_ctx, paper_keys):
+    _, pk = paper_keys
+    rng = np.random.default_rng(2)
+    n, t = paper_ctx.params.n, paper_ctx.params.t
+    m1 = rng.integers(0, t, n, dtype=np.int64)
+    m2 = rng.integers(0, t, n, dtype=np.int64)
+    return (
+        paper_ctx.encrypt(paper_ctx.plaintext(m1), pk),
+        paper_ctx.encrypt(paper_ctx.plaintext(m2), pk),
+    )

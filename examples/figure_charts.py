@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Render the paper's key figures as ASCII charts so their *shape* —
+who wins, by how much, where the crossovers fall — is visible at a
+glance (the tables in `python -m repro figures` carry the exact
+numbers).
+
+Run:  python examples/figure_charts.py
+"""
+
+from repro.eval.calibration import GIB, QUERY_SIZES
+from repro.eval.models import SoftwareCostModel
+from repro.eval.plotting import (
+    crossover_points,
+    grouped_bar_chart,
+    line_chart,
+    sparkline,
+)
+from repro.ndp.perfmodel import HardwarePerformanceModel
+
+
+def figure7_chart() -> None:
+    sw = SoftwareCostModel()
+    rows = sw.figure7(list(QUERY_SIZES))
+    print(
+        grouped_bar_chart(
+            "Figure 7 shape: speedup over Boolean (log scale)",
+            [f"{r['query_bits']}b" for r in rows],
+            {
+                "arithmetic": [r["arithmetic"] for r in rows],
+                "CM-SW": [r["cm_sw"] for r in rows],
+            },
+            log_scale=True,
+            value_format="{:.0f}",
+        )
+    )
+    ratio = [r["cm_sw"] / r["arithmetic"] for r in rows]
+    print(f"\nCM-SW / arithmetic ratio by query size: {sparkline(ratio)} "
+          f"({ratio[0]:.1f}x -> {ratio[-1]:.1f}x; paper 20.7x -> 62.2x)\n")
+
+
+def figure10_chart() -> None:
+    hw = HardwarePerformanceModel()
+    rows = hw.figure10(list(QUERY_SIZES))
+    print(
+        grouped_bar_chart(
+            "Figure 10 shape: hardware speedup over CM-SW",
+            [f"{r['query_bits']}b" for r in rows],
+            {
+                "CM-PuM": [r["cm_pum"] for r in rows],
+                "CM-PuM-SSD": [r["cm_pum_ssd"] for r in rows],
+                "CM-IFP": [r["cm_ifp"] for r in rows],
+            },
+            value_format="{:.0f}",
+        )
+    )
+    print()
+
+
+def figure12_chart() -> None:
+    hw = HardwarePerformanceModel()
+    sizes = [8 * GIB, 16 * GIB, 32 * GIB, 64 * GIB, 128 * GIB]
+    rows = hw.figure12(sizes)
+    gib = [r["db_gib"] for r in rows]
+    pum = [r["cm_pum"] for r in rows]
+    ifp = [r["cm_ifp"] for r in rows]
+    print(
+        line_chart(
+            "Figure 12 shape: speedup vs encrypted DB size",
+            gib,
+            {"CM-PuM": pum, "CM-IFP": ifp},
+            x_label="encrypted DB (GiB)",
+            y_label="speedup over CM-SW",
+        )
+    )
+    crossings = crossover_points(gib, pum, ifp)
+    if crossings:
+        print(
+            f"\nCM-PuM/CM-IFP crossover at ~{crossings[0]:.0f} GiB "
+            "(paper: between 32 GB — the external DRAM capacity — and 64 GB)"
+        )
+
+
+def main() -> None:
+    figure7_chart()
+    figure10_chart()
+    figure12_chart()
+
+
+if __name__ == "__main__":
+    main()

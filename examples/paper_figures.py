@@ -1,0 +1,13 @@
+"""Regenerate every table and figure of the paper's evaluation as ASCII
+tables (the same output the benchmark suite writes to benchmarks/out/).
+
+Run:  python examples/paper_figures.py            # everything
+      python examples/paper_figures.py figure10   # one figure
+"""
+
+import sys
+
+from repro.eval.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,55 @@
+"""CIPHERMATCH reproduction — homomorphic-encryption-based secure exact
+string matching with memory-efficient data packing and in-flash
+processing (Kabra et al., ASPLOS 2025).
+
+Subpackages
+-----------
+``repro.he``
+    From-scratch BFV homomorphic encryption (Ring-LWE, NTT backend),
+    packing encoders, SIMD batching, Boolean mode, noise diagnostics.
+``repro.tfhe``
+    From-scratch TFHE with real gate bootstrapping (the Boolean
+    baseline's native scheme) plus word-level homomorphic circuits.
+``repro.core``
+    The paper's contribution: the memory-efficient packing scheme and
+    the Hom-Add-only secure string matching pipeline.
+``repro.baselines``
+    Plaintext oracle plus the Boolean [17] and arithmetic [27] prior
+    approaches.
+``repro.flash`` / ``repro.ssd``
+    Functional NAND-flash simulator (latch-level ``bop_add``
+    µ-program) and the CM-IFP SSD system model.
+``repro.ndp`` / ``repro.eval``
+    Performance/energy models of the four evaluated systems and the
+    per-figure reproduction harness.
+``repro.workloads``
+    DNA string matching and encrypted database search case studies.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro.he import BFVParams
+>>> from repro.core import ClientConfig, SecureStringMatchPipeline
+>>> pipe = SecureStringMatchPipeline(ClientConfig(BFVParams.test_small(64)))
+>>> db = np.zeros(640, dtype=np.uint8); db[160:168] = 1
+>>> _ = pipe.outsource_database(db)
+>>> pipe.search(np.ones(8, dtype=np.uint8)).matches
+[160]
+"""
+
+__version__ = "1.1.0"
+
+from . import baselines, core, eval, flash, he, ndp, ssd, tfhe, workloads  # noqa: F401
+
+__all__ = [
+    "baselines",
+    "core",
+    "eval",
+    "flash",
+    "he",
+    "ndp",
+    "ssd",
+    "tfhe",
+    "workloads",
+    "__version__",
+]

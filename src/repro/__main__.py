@@ -1,0 +1,142 @@
+"""Command-line entry point.
+
+    python -m repro demo       # quick end-to-end secure-search demo
+    python -m repro figures    # print every paper figure/table
+    python -m repro figures figure10
+    python -m repro selftest   # fast functional self-check
+    python -m repro readmap    # secure DNA read-mapping demo
+    python -m repro tfhe       # bootstrapped-gate demo (real TFHE)
+    python -m repro queueing   # SSD queueing-model cross-check
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+
+def _demo() -> int:
+    from repro.core import ClientConfig, SecureStringMatchPipeline
+    from repro.he import BFVParams
+    from repro.utils.bits import random_bits
+
+    rng = np.random.default_rng(0)
+    db = random_bits(4000, rng)
+    query = random_bits(32, rng)
+    db[1600:1632] = query
+    pipe = SecureStringMatchPipeline(ClientConfig(BFVParams.test_small(64)))
+    pipe.outsource_database(db)
+    report = pipe.search(query)
+    print(
+        f"secure search over {len(db)} encrypted bits: "
+        f"{report.num_matches} match at {report.matches} "
+        f"({report.hom_additions} Hom-Adds, 0 Hom-Mults)"
+    )
+    return 0
+
+
+def _selftest() -> int:
+    from repro.baselines import find_all_matches
+    from repro.core import ClientConfig, SecureStringMatchPipeline
+    from repro.he import BFVParams
+    from repro.ssd import IFPAdditionBackend
+    from repro.utils.bits import random_bits
+
+    rng = np.random.default_rng(1)
+    db = random_bits(2000, rng)
+    q = random_bits(32, rng)
+    db[480:512] = q
+    pipe = SecureStringMatchPipeline(ClientConfig(BFVParams.test_small(64)))
+    backend = IFPAdditionBackend(pipe.client.ctx)
+    pipe.server.engine.backend = backend
+    pipe.outsource_database(db)
+    got = pipe.search(q).matches
+    expected = find_all_matches(db, q)
+    ok = got == expected
+    print(f"in-flash secure search selftest: {'OK' if ok else 'FAIL'} "
+          f"(found {got}, expected {expected})")
+    return 0 if ok else 1
+
+
+def _readmap() -> int:
+    from repro.core import ClientConfig
+    from repro.he import BFVParams
+    from repro.workloads import DnaWorkloadGenerator, SecureReadMapper
+
+    workload = DnaWorkloadGenerator(seed=3).generate(
+        num_bases=320, read_length_bases=16, num_reads=3
+    )
+    mapper = SecureReadMapper(
+        workload.genome, ClientConfig(BFVParams.test_small(64)), seed_bases=8
+    )
+    ok = 0
+    for read in workload.reads:
+        result = mapper.map_read(read.sequence)
+        verified = mapper.verify(result)
+        ok += verified == read.position_bases
+        print(
+            f"read planted@{read.position_bases}: mapped to {verified} "
+            f"({result.best.votes if result.best else 0}/"
+            f"{result.seeds_searched} votes)"
+        )
+    print(f"{ok}/{len(workload.reads)} reads mapped correctly")
+    return 0 if ok == len(workload.reads) else 1
+
+
+def _tfhe() -> int:
+    from repro.tfhe import TFHEContext, TFHEParams
+    from repro.tfhe.circuits import TfheArithmetic
+
+    ctx = TFHEContext(TFHEParams.test_small(), seed=1)
+    arith = TfheArithmetic(ctx)
+    a, b = 11, 7
+    total = arith.decrypt_word(
+        arith.add(arith.encrypt_word(a, 5), arith.encrypt_word(b, 5))
+    )
+    print(
+        f"bootstrapped 5-bit adder: {a} + {b} = {total} "
+        f"({ctx.bootstrap_count} bootstraps)"
+    )
+    return 0 if total == a + b else 1
+
+
+def _queueing() -> int:
+    from repro.flash.cell_array import FlashGeometry
+    from repro.flash.timing import FlashTimings
+    from repro.ssd.queueing import simulate_cm_search
+
+    geometry, timings = FlashGeometry(), FlashTimings()
+    pairs = geometry.channels * geometry.dies_per_channel
+    for slots in (1, pairs, 4 * pairs):
+        result = simulate_cm_search(slots, geometry, timings)
+        print(
+            f"{slots:>3} CM-search slots: makespan {result.makespan * 1e3:.3f} ms, "
+            f"mean latency {result.mean_latency * 1e3:.3f} ms"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    command = argv[0] if argv else "demo"
+    if command == "demo":
+        return _demo()
+    if command == "selftest":
+        return _selftest()
+    if command == "readmap":
+        return _readmap()
+    if command == "tfhe":
+        return _tfhe()
+    if command == "queueing":
+        return _queueing()
+    if command == "figures":
+        from repro.eval.runner import main as figures_main
+
+        return figures_main(argv[1:])
+    print(__doc__)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""The "match polynomial" and index generation (§4.2.2).
+
+After ``Hom-Add(C_~Q, C_d)`` a coefficient whose chunk matched the query
+equals the all-ones value ``2^w - 1``.  The match polynomial ``P_v(x)``
+has every coefficient equal to that value; index generation finds the
+result coefficients that decrypt to it.
+
+Two index-generation modes (see DESIGN.md):
+
+* ``CLIENT_DECRYPT`` — the client decrypts result ciphertexts and flags
+  all-ones coefficients.  Cryptographically sound; same information
+  flow as the paper (the client learns the match locations).
+* ``SERVER_DETERMINISTIC`` — database and queries are encrypted
+  noiselessly with masking polynomials derived from a shared seed; the
+  server can then predict the exact ciphertext a match produces and
+  compare, which is the paper's literal in-SSD index generation.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List
+
+import numpy as np
+
+from ..he.bfv import BFVContext, Ciphertext, Plaintext
+from ..he.keys import PublicKey, SecretKey
+from .packing import derive_masking_poly
+
+
+class IndexMode(Enum):
+    CLIENT_DECRYPT = "client-decrypt"
+    SERVER_DETERMINISTIC = "server-deterministic"
+
+
+def match_value(chunk_width: int) -> int:
+    """The all-ones chunk value ``2^w - 1`` that signals a match."""
+    return (1 << chunk_width) - 1
+
+
+def match_plaintext(ctx: BFVContext, chunk_width: int) -> Plaintext:
+    """``P_v(x) = v x^{n-1} + ... + v`` with ``v = 2^w - 1``."""
+    coeffs = np.full(ctx.params.n, match_value(chunk_width), dtype=np.int64)
+    return ctx.plaintext(coeffs)
+
+
+def flag_matches_by_decryption(
+    ctx: BFVContext, result: Ciphertext, sk: SecretKey, chunk_width: int
+) -> np.ndarray:
+    """Boolean per-coefficient match flags via decryption."""
+    pt = ctx.decrypt(result, sk)
+    return pt.poly.coeffs == match_value(chunk_width)
+
+
+class DeterministicComparator:
+    """Server-side coefficient comparison for ``SERVER_DETERMINISTIC``.
+
+    Under noiseless encryption with shared-seed masking polynomials, a
+    result ciphertext is exactly
+    ``(pk0 * (u_db + u_q) + delta * (m_db + m_q),  pk1 * (u_db + u_q))``,
+    so the server — knowing pk and the derived ``u`` values — computes
+    what each coefficient would be *if* the underlying sum were the
+    all-ones value, and compares.
+    """
+
+    def __init__(
+        self, ctx: BFVContext, pk: PublicKey, seed: int, chunk_width: int
+    ):
+        self.ctx = ctx
+        self.pk = pk
+        self.seed = seed
+        self.chunk_width = chunk_width
+
+    def expected_match_c0(
+        self, db_poly_index: int, variant_cache_key: int
+    ) -> np.ndarray:
+        u_db = derive_masking_poly(self.ctx, self.seed, "db", db_poly_index)
+        u_q = derive_masking_poly(self.ctx, self.seed, "qv", variant_cache_key)
+        u_total = u_db + u_q
+        mask = self.pk.pk0 * u_total
+        delta = self.ctx.params.delta
+        target = match_value(self.chunk_width) * delta
+        return (mask.coeffs + target) % self.ctx.params.q
+
+    def flag_matches(
+        self,
+        result: Ciphertext,
+        db_poly_index: int,
+        variant_cache_key: int,
+    ) -> np.ndarray:
+        expected = self.expected_match_c0(db_poly_index, variant_cache_key)
+        return result.c0.coeffs == expected
+
+
+def combine_flag_blocks(blocks: List[np.ndarray]) -> np.ndarray:
+    """Concatenate per-polynomial flag vectors into one global vector."""
+    if not blocks:
+        return np.zeros(0, dtype=bool)
+    return np.concatenate(blocks)

@@ -1,0 +1,184 @@
+"""Server-side secure string search (Algorithm 1, lines 10-12) and
+result decoding back to database bit offsets.
+
+The search itself is nothing but homomorphic additions — one Hom-Add
+per (database polynomial, query variant) pair — which is the property
+that lets CIPHERMATCH run inside NAND flash.  The execution backend is
+pluggable: the CPU backend calls :meth:`BFVContext.add`; the IFP backend
+(:mod:`repro.ssd.device`) performs the same additions with the simulated
+in-flash bit-serial adder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Protocol
+
+import numpy as np
+
+from ..he.bfv import BFVContext, Ciphertext
+from .packing import EncryptedDatabase
+from .query import PreparedQuery, QueryVariant
+
+
+class AdditionBackend(Protocol):
+    """Anything that can add two ciphertexts coefficient-wise."""
+
+    def hom_add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext: ...
+
+
+class CPUAdditionBackend:
+    """Reference software backend (CM-SW)."""
+
+    def __init__(self, ctx: BFVContext):
+        self.ctx = ctx
+
+    def hom_add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        return self.ctx.add(a, b)
+
+
+@dataclass
+class ResultBlock:
+    """Hom-Add result for one (database polynomial, variant)."""
+
+    poly_index: int
+    variant_index: int
+    variant_cache_key: int
+    ciphertext: Ciphertext
+
+
+@dataclass
+class MatchCandidate:
+    """A decoded candidate occurrence."""
+
+    offset: int
+    phase: int
+    variant_index: int
+    verified: Optional[bool] = None
+
+
+class SecureSearchEngine:
+    """Runs the Hom-Add search over an encrypted database."""
+
+    def __init__(self, backend: AdditionBackend):
+        self.backend = backend
+        self.hom_add_count = 0
+
+    def search(
+        self,
+        db: EncryptedDatabase,
+        prepared: PreparedQuery,
+        encrypt_variant: Callable[[int, int], Ciphertext],
+    ) -> List[ResultBlock]:
+        """Hom-Add every query variant against every database polynomial.
+
+        ``encrypt_variant(variant_index, poly_index)`` supplies the
+        encrypted query polynomial (the client pre-encrypts; the server
+        only sees ciphertexts).
+        """
+        blocks = []
+        n = db.n
+        for v_idx, variant in enumerate(prepared.variants):
+            for j, db_ct in enumerate(db.ciphertexts):
+                query_ct = encrypt_variant(v_idx, j)
+                result = self.backend.hom_add(db_ct, query_ct)
+                self.hom_add_count += 1
+                residue = (j * n) % variant.span
+                blocks.append(
+                    ResultBlock(
+                        poly_index=j,
+                        variant_index=v_idx,
+                        variant_cache_key=v_idx * 1009 + residue,
+                        ciphertext=result,
+                    )
+                )
+        return blocks
+
+
+class ResultDecoder:
+    """Turns per-coefficient match flags into database bit offsets."""
+
+    def __init__(self, chunk_width: int, n: int, db_bit_length: int):
+        self.chunk_width = chunk_width
+        self.n = n
+        self.db_bit_length = db_bit_length
+
+    def decode(
+        self,
+        prepared: PreparedQuery,
+        flags_by_block: Dict[tuple, np.ndarray],
+        num_polynomials: int,
+    ) -> List[MatchCandidate]:
+        """``flags_by_block[(variant_index, poly_index)]`` is the boolean
+        all-ones flag vector for that result block."""
+        candidates: Dict[int, MatchCandidate] = {}
+        for v_idx, variant in enumerate(prepared.variants):
+            flags = self._global_flags(v_idx, flags_by_block, num_polynomials)
+            for offset in self._offsets_for_variant(variant, flags, prepared):
+                existing = candidates.get(offset)
+                if existing is None or (
+                    existing.verified is None and not variant.requires_verification
+                ):
+                    candidates[offset] = MatchCandidate(
+                        offset=offset, phase=variant.phase, variant_index=v_idx
+                    )
+        return sorted(candidates.values(), key=lambda c: c.offset)
+
+    def _global_flags(
+        self,
+        variant_index: int,
+        flags_by_block: Dict[tuple, np.ndarray],
+        num_polynomials: int,
+    ) -> np.ndarray:
+        parts = []
+        for j in range(num_polynomials):
+            block = flags_by_block.get((variant_index, j))
+            if block is None:
+                block = np.zeros(self.n, dtype=bool)
+            parts.append(np.asarray(block, dtype=bool))
+        return np.concatenate(parts) if parts else np.zeros(0, dtype=bool)
+
+    def _offsets_for_variant(
+        self, variant: QueryVariant, flags: np.ndarray, prepared: PreparedQuery
+    ) -> Iterable[int]:
+        w = self.chunk_width
+        span = variant.span
+        o = variant.query_bit_offset
+        y = prepared.bit_length
+        total = len(flags)
+        # run[g] = True when flags[g : g+span] are all True
+        if span == 1:
+            run = flags
+        else:
+            run = np.ones(total, dtype=bool)
+            for k in range(span):
+                shifted = np.zeros(total, dtype=bool)
+                if total - k > 0:
+                    shifted[: total - k] = flags[k:]
+                run &= shifted
+        starts = np.nonzero(run)[0]
+        for g in starts:
+            if (g - variant.rotation) % span != 0:
+                continue
+            offset = int(g) * w - o
+            if offset < 0 or offset + y > self.db_bit_length:
+                continue
+            yield offset
+
+
+def verify_candidates(
+    candidates: List[MatchCandidate],
+    oracle: Callable[[int], bool],
+) -> List[MatchCandidate]:
+    """Run the verification step: keep candidates the oracle confirms.
+
+    In deployment the oracle is the client re-checking boundary bits of
+    its own data (it owns the plaintext); in tests it is the plaintext
+    reference matcher.
+    """
+    verified = []
+    for cand in candidates:
+        cand.verified = bool(oracle(cand.offset))
+        if cand.verified:
+            verified.append(cand)
+    return verified

@@ -1,0 +1,100 @@
+"""End-to-end CIPHERMATCH pipeline: the six-step flow of Figure 6.
+
+1. the client prepares the encrypted query (and match polynomial),
+2. sends them to the server,
+3. the server runs the Hom-Add search (CPU backend or simulated
+   in-flash backend),
+4. index generation happens client-side (decrypt) or server-side
+   (deterministic comparison),
+5. candidates are verified, and
+6. match offsets are returned.
+
+This is the API the examples and the case-study workloads use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .client import CipherMatchClient, ClientConfig
+from .match_polynomial import IndexMode
+from .matcher import AdditionBackend, MatchCandidate
+from .packing import EncryptedDatabase
+from .server import CipherMatchServer
+
+
+@dataclass
+class SearchReport:
+    """Outcome of one secure search."""
+
+    matches: List[int]
+    candidates: List[MatchCandidate]
+    hom_additions: int
+    num_variants: int
+    encrypted_db_bytes: int
+
+    @property
+    def num_matches(self) -> int:
+        return len(self.matches)
+
+
+class SecureStringMatchPipeline:
+    """Client + server wired together for in-process experiments."""
+
+    def __init__(
+        self,
+        config: ClientConfig,
+        backend: Optional[AdditionBackend] = None,
+    ):
+        self.config = config
+        self.client = CipherMatchClient(config)
+        self.server = CipherMatchServer(self.client.ctx, backend)
+        self.db: Optional[EncryptedDatabase] = None
+
+    # -- setup -----------------------------------------------------------
+
+    def outsource_database(self, bits: np.ndarray) -> EncryptedDatabase:
+        """Client packs + encrypts, server stores."""
+        self.db = self.client.outsource(bits)
+        self.server.store_database(self.db)
+        if self.config.index_mode is IndexMode.SERVER_DETERMINISTIC:
+            self.server.enable_deterministic_index(
+                self.client.pk,
+                self.config.deterministic_seed,
+                self.client.chunk_width,
+            )
+        return self.db
+
+    # -- query -----------------------------------------------------------
+
+    def search(self, query_bits: np.ndarray, *, verify: bool = True) -> SearchReport:
+        if self.db is None:
+            raise RuntimeError("outsource a database first")
+        prepared = self.client.prepare_query(np.asarray(query_bits, dtype=np.uint8))
+        adds_before = self.server.hom_add_count
+
+        blocks = self.server.search(
+            prepared,
+            lambda v_idx, j: self.client.encrypt_variant(prepared, v_idx, j),
+        )
+
+        if self.config.index_mode is IndexMode.SERVER_DETERMINISTIC:
+            flags = self.server.generate_index(blocks)
+            candidates = self.client.decode_server_flags(
+                prepared, flags, self.db, verify=verify
+            )
+        else:
+            candidates = self.client.decode_results(
+                prepared, blocks, self.db, verify=verify
+            )
+
+        return SearchReport(
+            matches=[c.offset for c in candidates],
+            candidates=candidates,
+            hom_additions=self.server.hom_add_count - adds_before,
+            num_variants=prepared.num_variants,
+            encrypted_db_bytes=self.db.serialized_bytes,
+        )

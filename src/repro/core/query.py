@@ -1,0 +1,202 @@
+"""Client-side query preparation (Algorithm 1, lines 4-9).
+
+The query is negated, chunked with the memory-efficient packing scheme,
+replicated across polynomial coefficients and shifted to cover every
+possible alignment of the query against the packed database.
+
+Alignment model
+---------------
+A query of ``y`` bits can occur in the database at bit offset
+``p = w*k + s`` (``w`` = chunk width, ``s`` = bit phase, ``k`` = chunk
+index).  A database chunk becomes all-ones after Hom-Add with the
+negated query only when *every* bit of that chunk is a known query bit,
+so detection works on the *interior* chunks of an occurrence:
+
+* phase ``s = 0``: the occurrence covers ``floor(y/w)`` full chunks.
+* phase ``s > 0``: the first ``o = w - s`` query bits live in a partial
+  chunk; the interior covers ``floor((y - o)/w)`` full chunks starting
+  at query bit ``o``.
+
+When the interior is empty (short queries at non-zero phase) the paper's
+replicated-pattern form is used: the chunk pattern is a ``w``-bit window
+of the query's periodic extension.  Such variants only *candidate*-match
+(the surrounding bits are unchecked), so they are flagged
+``requires_verification`` and the pipeline's verification step filters
+them; `guaranteed_phases` tells callers which phases detect exactly.
+
+For interior spans longer than one chunk, the pattern repeats with
+period ``span`` across coefficients; ``span`` rotational variants make a
+run starting at any chunk index detectable.  The total Hom-Add count per
+database polynomial is ``sum over phases of max(span_s, 1)`` — for the
+paper's headline case (y = w = 16) this is exactly ``w`` = 16 variants,
+matching §4.2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..he.bfv import BFVContext, Ciphertext, Plaintext
+from ..he.keys import PublicKey
+from ..utils.bits import chunk_bits, negate_bits
+from .packing import derive_masking_poly
+
+
+@dataclass
+class QueryVariant:
+    """One shifted/rotated alignment of the negated query."""
+
+    phase: int  # bit phase s in [0, w)
+    rotation: int  # chunk rotation r in [0, span)
+    span: int  # number of interior chunks (>= 1 once padded)
+    pattern_chunks: np.ndarray  # negated interior chunk values, len == span
+    query_bit_offset: int  # o: first query bit covered by the interior
+    requires_verification: bool
+
+    def coefficient_pattern(self, n: int, poly_chunk_base: int) -> np.ndarray:
+        """Negated pattern laid out over the ``n`` coefficients of the
+        database polynomial whose first chunk has global index
+        ``poly_chunk_base``."""
+        idx = (poly_chunk_base + np.arange(n) - self.rotation) % self.span
+        return self.pattern_chunks[idx]
+
+
+@dataclass
+class PreparedQuery:
+    """All variants of a query, plus encryption caching."""
+
+    query_bits: np.ndarray
+    chunk_width: int
+    variants: List[QueryVariant]
+    _cipher_cache: Dict[tuple, Ciphertext] = field(default_factory=dict)
+
+    @property
+    def bit_length(self) -> int:
+        return len(self.query_bits)
+
+    @property
+    def num_variants(self) -> int:
+        return len(self.variants)
+
+    def homomorphic_additions_per_polynomial(self) -> int:
+        return len(self.variants)
+
+
+def guaranteed_phases(query_bits: int, chunk_width: int) -> List[int]:
+    """Bit phases at which a query of this length is detected exactly
+    (i.e., has at least one fully-covered interior chunk)."""
+    phases = []
+    for s in range(chunk_width):
+        o = (chunk_width - s) % chunk_width
+        if (query_bits - o) // chunk_width >= 1:
+            phases.append(s)
+    return phases
+
+
+class QueryPreparer:
+    """Builds, replicates and encrypts query variants (lines 4-9)."""
+
+    def __init__(self, ctx: BFVContext, chunk_width: int):
+        self.ctx = ctx
+        self.chunk_width = chunk_width
+
+    def prepare(self, query_bits: np.ndarray) -> PreparedQuery:
+        query_bits = np.asarray(query_bits, dtype=np.uint8)
+        if len(query_bits) == 0:
+            raise ValueError("empty query")
+        w = self.chunk_width
+        variants = []
+        for s in range(w):
+            variants.extend(self._variants_for_phase(query_bits, s))
+        return PreparedQuery(query_bits, w, variants)
+
+    def _variants_for_phase(
+        self, query_bits: np.ndarray, phase: int
+    ) -> List[QueryVariant]:
+        w = self.chunk_width
+        y = len(query_bits)
+        o = (w - phase) % w
+        interior = (y - o) // w if y > o else 0
+        if interior >= 1:
+            segment = query_bits[o : o + interior * w]
+            pattern = chunk_bits(negate_bits(segment), w)
+            return [
+                QueryVariant(
+                    phase=phase,
+                    rotation=r,
+                    span=interior,
+                    pattern_chunks=pattern,
+                    query_bit_offset=o,
+                    requires_verification=(o > 0 or o + interior * w < y),
+                )
+                for r in range(interior)
+            ]
+        # Short-query fallback: periodic-extension window (paper's
+        # replicated form).  Candidate-only.
+        window = _periodic_window(query_bits, o % max(y, 1), w)
+        pattern = chunk_bits(negate_bits(window), w)
+        return [
+            QueryVariant(
+                phase=phase,
+                rotation=0,
+                span=1,
+                pattern_chunks=pattern,
+                query_bit_offset=o,
+                requires_verification=True,
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Encryption
+    # ------------------------------------------------------------------
+
+    def variant_plaintext(
+        self, variant: QueryVariant, poly_chunk_base: int
+    ) -> Plaintext:
+        n = self.ctx.params.n
+        coeffs = variant.coefficient_pattern(n, poly_chunk_base)
+        return self.ctx.plaintext(coeffs)
+
+    def encrypt_variant(
+        self,
+        prepared: PreparedQuery,
+        variant_index: int,
+        poly_index: int,
+        pk: PublicKey,
+        *,
+        deterministic_seed: int | None = None,
+    ) -> Ciphertext:
+        """Encrypted query polynomial for one (variant, db-polynomial).
+
+        The coefficient layout depends on the database polynomial only
+        through ``(poly_index * n) mod span``, so ciphertexts are cached
+        per residue class — a query is encrypted O(variants) times, not
+        O(variants * polynomials).
+        """
+        variant = prepared.variants[variant_index]
+        n = self.ctx.params.n
+        base = poly_index * n
+        residue = base % variant.span
+        key = (variant_index, residue)
+        if key not in prepared._cipher_cache:
+            pt = self.variant_plaintext(variant, base)
+            if deterministic_seed is None:
+                ct = self.ctx.encrypt(pt, pk)
+            else:
+                u = derive_masking_poly(
+                    self.ctx, deterministic_seed, "qv", variant_index * 1009 + residue
+                )
+                ct = self.ctx.encrypt(pt, pk, noiseless=True, u=u)
+            prepared._cipher_cache[key] = ct
+        return prepared._cipher_cache[key]
+
+
+def _periodic_window(query_bits: np.ndarray, start: int, width: int) -> np.ndarray:
+    """``width`` bits of the infinite periodic extension of the query,
+    starting at query-bit ``start``."""
+    y = len(query_bits)
+    idx = (start + np.arange(width)) % y
+    return query_bits[idx]

@@ -1,0 +1,83 @@
+"""The server side of the CIPHERMATCH protocol.
+
+The server stores the encrypted database and executes the Hom-Add
+search.  It never holds key material; under ``SERVER_DETERMINISTIC``
+index generation it additionally runs the match-polynomial comparison
+itself (the paper's in-SSD index-generation unit) using only public
+values and the shared masking seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..he.bfv import BFVContext, Ciphertext
+from ..he.keys import PublicKey
+from .match_polynomial import DeterministicComparator
+from .matcher import (
+    AdditionBackend,
+    CPUAdditionBackend,
+    ResultBlock,
+    SecureSearchEngine,
+)
+from .packing import EncryptedDatabase
+from .query import PreparedQuery
+
+
+class CipherMatchServer:
+    """Server endpoint: encrypted storage + Hom-Add search execution."""
+
+    def __init__(
+        self,
+        ctx: BFVContext,
+        backend: Optional[AdditionBackend] = None,
+    ):
+        self.ctx = ctx
+        self.engine = SecureSearchEngine(backend or CPUAdditionBackend(ctx))
+        self.db: Optional[EncryptedDatabase] = None
+        self._comparator: Optional[DeterministicComparator] = None
+
+    # -- storage ---------------------------------------------------------
+
+    def store_database(self, db: EncryptedDatabase) -> None:
+        self.db = db
+
+    def enable_deterministic_index(
+        self, pk: PublicKey, seed: int, chunk_width: int
+    ) -> None:
+        """Arm the in-server index-generation unit (paper-literal mode)."""
+        self._comparator = DeterministicComparator(self.ctx, pk, seed, chunk_width)
+
+    # -- search (Algorithm 1, lines 10-12) --------------------------------
+
+    def search(
+        self,
+        prepared: PreparedQuery,
+        encrypt_variant: Callable[[int, int], Ciphertext],
+    ) -> List[ResultBlock]:
+        if self.db is None:
+            raise RuntimeError("no database stored on the server")
+        return self.engine.search(self.db, prepared, encrypt_variant)
+
+    def generate_index(self, blocks: List[ResultBlock]) -> Dict[tuple, np.ndarray]:
+        """Server-side index generation (deterministic mode only):
+        compare each result block against the predicted match ciphertext
+        and return per-coefficient flags."""
+        if self._comparator is None:
+            raise RuntimeError(
+                "server-side index generation requires deterministic mode"
+            )
+        flags: Dict[tuple, np.ndarray] = {}
+        for block in blocks:
+            flags[(block.variant_index, block.poly_index)] = (
+                self._comparator.flag_matches(
+                    block.ciphertext, block.poly_index, block.variant_cache_key
+                )
+            )
+        return flags
+
+    @property
+    def hom_add_count(self) -> int:
+        return self.engine.hom_add_count

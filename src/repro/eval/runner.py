@@ -1,0 +1,45 @@
+"""Run every paper-figure reproduction and print the tables.
+
+Usage::
+
+    python -m repro.eval.runner             # all figures
+    python -m repro.eval.runner figure10    # one figure
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List
+
+from .experiments import ALL_EXPERIMENTS, headline_summary
+
+
+def run(names: List[str] | None = None) -> str:
+    names = names or list(ALL_EXPERIMENTS)
+    sections = []
+    for name in names:
+        if name not in ALL_EXPERIMENTS:
+            raise KeyError(
+                f"unknown experiment {name!r}; choose from {sorted(ALL_EXPERIMENTS)}"
+            )
+        sections.append(ALL_EXPERIMENTS[name]())
+    if names == list(ALL_EXPERIMENTS):
+        sections.append(_headline_table())
+    return "\n\n".join(sections)
+
+
+def _headline_table() -> str:
+    from .tables import format_table
+
+    rows = [[k, f"{v:.1f}x"] for k, v in headline_summary().items()]
+    return format_table("Headline results (geometric means)", ["metric", "model"], rows)
+
+
+def main(argv: List[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    print(run(argv or None))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

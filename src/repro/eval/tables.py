@@ -1,0 +1,73 @@
+"""ASCII table rendering for the paper-figure reproductions.
+
+Every benchmark prints its figure/table through these helpers so the
+output format is uniform: a title, a paper-reference line, column
+headers, and aligned rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: List[Sequence],
+    *,
+    paper_note: str | None = None,
+    float_format: str = "{:.1f}",
+) -> str:
+    """Render a fixed-width table."""
+    rendered_rows = [
+        [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in rendered_rows)) if rendered_rows else len(str(col))
+        for i, col in enumerate(columns)
+    ]
+    lines = [f"== {title} =="]
+    if paper_note:
+        lines.append(f"   paper: {paper_note}")
+    header = "  ".join(str(col).rjust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_dict_rows(
+    title: str,
+    rows: List[Dict],
+    columns: Sequence[str],
+    *,
+    paper_note: str | None = None,
+    float_format: str = "{:.1f}",
+) -> str:
+    data = [[row[c] for c in columns] for row in rows]
+    return format_table(
+        title, columns, data, paper_note=paper_note, float_format=float_format
+    )
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable sizes (matching the paper's axis labels)."""
+    for unit, scale in (("GB", 1024**3), ("MB", 1024**2), ("KB", 1024)):
+        if num_bytes >= scale:
+            value = num_bytes / scale
+            return f"{value:.0f}{unit}" if value == int(value) else f"{value:.1f}{unit}"
+    return f"{num_bytes:.0f}B"
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("empty sequence")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,50 @@
+"""Flash command set abstraction.
+
+The SSD controller drives flash chips through a small command
+vocabulary; ``bop_add`` (the new CIPHERMATCH command, §4.3.2) expands
+into the µ-program of :mod:`repro.flash.microprogram`.  Commands are
+recorded so tests can assert the FTL issues exactly the sequence the
+paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, List, Optional
+
+
+class FlashOp(Enum):
+    READ_PAGE = "read_page"
+    PROGRAM_PAGE = "program_page"
+    ERASE_BLOCK = "erase_block"
+    BOP_ADD = "bop_add"  # the new CIPHERMATCH bulk-operation add
+    LATCH_LOAD = "latch_load"
+    LATCH_READ = "latch_read"
+
+
+@dataclass
+class FlashCommand:
+    op: FlashOp
+    channel: int
+    die: int
+    plane: int
+    block: int = 0
+    wordline: int = 0
+    payload: Optional[Any] = None
+
+
+@dataclass
+class CommandLog:
+    """Records commands issued to the flash subsystem."""
+
+    commands: List[FlashCommand] = field(default_factory=list)
+
+    def record(self, cmd: FlashCommand) -> None:
+        self.commands.append(cmd)
+
+    def count(self, op: FlashOp) -> int:
+        return sum(1 for c in self.commands if c.op is op)
+
+    def clear(self) -> None:
+        self.commands.clear()

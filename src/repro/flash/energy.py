@@ -1,0 +1,86 @@
+"""Flash energy model — the energy constants of Table 3 and Eqn 11.
+
+Energies are in joules.  Per-KB latch-operation energies are charged for
+the full page the operation touches (all bitlines operate in parallel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FlashEnergies:
+    """Energy parameters of the simulated SSD (Table 3)."""
+
+    e_read_slc: float = 20.5e-6  # J per channel-read (Flash-Cosmos)
+    e_and_or_per_kb: float = 10e-9  # J/KB (ParaBit)
+    e_latch_per_kb: float = 10e-9  # J/KB (ParaBit)
+    e_xor_per_kb: float = 20e-9  # J/KB (Flash-Cosmos)
+    e_dma: float = 7.656e-6  # J per channel DMA
+    e_index_gen_per_page: float = 0.18e-6  # J, SSD-controller index check
+    page_bytes: int = 4096
+
+    @property
+    def page_kb(self) -> float:
+        return self.page_bytes / 1024.0
+
+    @property
+    def e_bop_add(self) -> float:
+        """Latch-level energy of one bit position over a full page."""
+        kb = self.page_kb
+        return (
+            self.e_read_slc
+            + 2 * self.e_xor_per_kb * kb
+            + 5 * self.e_latch_per_kb * kb
+            + 4 * self.e_and_or_per_kb * kb
+        )
+
+    @property
+    def e_bit_add(self) -> float:
+        """Eqn 11: ``Ebop_add + 2 Edma + Eindex_gen``."""
+        return self.e_bop_add + 2 * self.e_dma + self.e_index_gen_per_page
+
+    def e_word_add(self, word_bits: int = 32) -> float:
+        return word_bits * self.e_bit_add
+
+
+#: Table 3's quoted per-channel bit-add energy.  Our Eqn-11 value lands
+#: within ~15% (the paper does not spell out its page accounting);
+#: EXPERIMENTS.md records both.
+PAPER_E_BIT_ADD = 32.22e-6
+
+
+@dataclass
+class EnergyLedger:
+    """Accumulates simulated energy alongside the timing ledger."""
+
+    energies: FlashEnergies = field(default_factory=FlashEnergies)
+    counts: dict = field(default_factory=dict)
+    total_joules: float = 0.0
+
+    def charge(self, op: str, joules: float, amount: int = 1) -> None:
+        self.counts[op] = self.counts.get(op, 0) + amount
+        self.total_joules += joules * amount
+
+    def charge_read(self) -> None:
+        self.charge("read", self.energies.e_read_slc)
+
+    def charge_and_or(self) -> None:
+        self.charge("and_or", self.energies.e_and_or_per_kb * self.energies.page_kb)
+
+    def charge_latch_transfer(self) -> None:
+        self.charge("latch_transfer", self.energies.e_latch_per_kb * self.energies.page_kb)
+
+    def charge_xor(self) -> None:
+        self.charge("xor", self.energies.e_xor_per_kb * self.energies.page_kb)
+
+    def charge_dma(self) -> None:
+        self.charge("dma", self.energies.e_dma)
+
+    def charge_index_gen(self) -> None:
+        self.charge("index_gen", self.energies.e_index_gen_per_page)
+
+    def reset(self) -> None:
+        self.counts.clear()
+        self.total_joules = 0.0

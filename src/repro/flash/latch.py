@@ -1,0 +1,155 @@
+"""NAND flash peripheral latch circuitry (Figure 4).
+
+Each plane has one sensing latch (S-latch) and three data latches
+(D-latches, TLC hardware operated in SLC mode) per bitline.  The
+modified peripheral circuit of [141] (transistors M7/M8) enables
+bi-directional S<->D transfers, which is what lets intermediate results
+be reused — the limitation of ParaBit this design removes.
+
+Supported micro-operations and their circuit-level realization:
+
+* ``read``            — flash cell -> S-latch (conventional read).
+* ``load``            — controller -> S-latch (query bit in).
+* ``s_to_d(d)``       — reset D, SET_D gated by OUT_S (copy).
+* ``d_to_s(d)``       — reverse path via M7/M8.
+* ``and_sd(d)``       — precharge bitline, EN + SET_S: S := S AND D[d].
+* ``or_sd(d)``        — SET_D without reset: D[d] := S OR D[d].
+* ``xor_dd(d1, d2)``  — randomizer XOR circuit: D[d1] := D[d1] XOR D[d2].
+* ``read_out(d)``     — D-latch -> controller (sum bit out).
+
+All operations act on every bitline of the plane simultaneously (the
+bit-level parallelism the paper exploits); operands here are numpy
+uint8 0/1 vectors of length ``num_bitlines``.  Every call charges the
+plane's timing/energy ledgers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .energy import EnergyLedger
+from .timing import TimingLedger
+
+NUM_D_LATCHES = 3
+
+
+@dataclass
+class LatchTrace:
+    """Optional record of executed micro-ops (µ-program verification)."""
+
+    ops: List[str] = field(default_factory=list)
+    enabled: bool = False
+
+    def record(self, op: str) -> None:
+        if self.enabled:
+            self.ops.append(op)
+
+    def counts(self) -> dict:
+        out: dict = {}
+        for op in self.ops:
+            key = op.split("(")[0]
+            out[key] = out.get(key, 0) + 1
+        return out
+
+
+class PlaneLatches:
+    """The latch state of one plane: S-latch + three D-latches."""
+
+    def __init__(
+        self,
+        num_bitlines: int,
+        timing: Optional[TimingLedger] = None,
+        energy: Optional[EnergyLedger] = None,
+    ):
+        self.num_bitlines = num_bitlines
+        self.s_latch = np.zeros(num_bitlines, dtype=np.uint8)
+        self.d_latches = [
+            np.zeros(num_bitlines, dtype=np.uint8) for _ in range(NUM_D_LATCHES)
+        ]
+        self.timing = timing if timing is not None else TimingLedger()
+        self.energy = energy if energy is not None else EnergyLedger()
+        self.trace = LatchTrace()
+
+    # -- controller-facing transfers ------------------------------------
+
+    def load(self, bits: np.ndarray) -> None:
+        """Controller writes a bit vector into the S-latch (DMA in)."""
+        self._check(bits)
+        self.s_latch = np.asarray(bits, dtype=np.uint8).copy()
+        self.trace.record("load")
+        self.timing.charge_dma()
+        self.energy.charge_dma()
+        # sensing the incoming bitline values is an AND/OR-class latch op
+        self.timing.charge_and_or()
+        self.energy.charge_and_or()
+
+    def read_out(self, d: int) -> np.ndarray:
+        """Controller reads a D-latch (DMA out)."""
+        self.trace.record(f"read_out({d})")
+        self.timing.charge_dma()
+        self.energy.charge_dma()
+        return self.d_latches[d].copy()
+
+    # -- flash-array read -------------------------------------------------
+
+    def sense(self, cell_bits: np.ndarray, slc: bool = True) -> None:
+        """Flash read: wordline contents land in the S-latch."""
+        self._check(cell_bits)
+        self.s_latch = np.asarray(cell_bits, dtype=np.uint8).copy()
+        self.trace.record("sense")
+        self.timing.charge_read(slc=slc)
+        self.energy.charge_read()
+
+    # -- latch-to-latch micro-ops ------------------------------------------
+
+    def s_to_d(self, d: int) -> None:
+        """Copy S-latch into D-latch ``d`` (reset + gated set)."""
+        self.d_latches[d] = self.s_latch.copy()
+        self.trace.record(f"s_to_d({d})")
+        self.timing.charge_latch_transfer()
+        self.energy.charge_latch_transfer()
+
+    def d_to_s(self, d: int) -> None:
+        """Copy D-latch ``d`` into the S-latch (M7/M8 reverse path)."""
+        self.s_latch = self.d_latches[d].copy()
+        self.trace.record(f"d_to_s({d})")
+        self.timing.charge_latch_transfer()
+        self.energy.charge_latch_transfer()
+
+    def and_sd(self, d: int) -> None:
+        """S := S AND D[d] (result stays in the S-latch)."""
+        self.s_latch = self.s_latch & self.d_latches[d]
+        self.trace.record(f"and_sd({d})")
+        self.timing.charge_and_or()
+        self.energy.charge_and_or()
+
+    def or_sd(self, d: int) -> None:
+        """D[d] := S OR D[d] (result stays in the D-latch)."""
+        self.d_latches[d] = self.s_latch | self.d_latches[d]
+        self.trace.record(f"or_sd({d})")
+        self.timing.charge_and_or()
+        self.energy.charge_and_or()
+
+    def xor_dd(self, d1: int, d2: int) -> None:
+        """D[d1] := D[d1] XOR D[d2] via the on-chip randomizer circuit."""
+        self.d_latches[d1] = self.d_latches[d1] ^ self.d_latches[d2]
+        self.trace.record(f"xor_dd({d1},{d2})")
+        self.timing.charge_xor()
+        self.energy.charge_xor()
+
+    def reset_d(self, d: int) -> None:
+        self.d_latches[d] = np.zeros(self.num_bitlines, dtype=np.uint8)
+        self.trace.record(f"reset_d({d})")
+        self.timing.charge_latch_transfer()
+        self.energy.charge_latch_transfer()
+
+    # ----------------------------------------------------------------------
+
+    def _check(self, bits: np.ndarray) -> None:
+        if np.shape(bits) != (self.num_bitlines,):
+            raise ValueError(
+                f"expected {self.num_bitlines} bitline values, got {np.shape(bits)}"
+            )

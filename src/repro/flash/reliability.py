@@ -1,0 +1,152 @@
+"""Flash reliability model (§4.3.1 "Reliability"): Enhanced SLC
+Programming (ESP) margins, bit-error injection, and wearout tracking.
+
+CIPHERMATCH keeps latch computation reliable two ways, both modelled:
+
+* **ESP** maximizes the threshold-voltage gap between the two SLC
+  states, driving the raw bit-error rate of computation reads far below
+  the default read path — :class:`EspModel` turns programming mode into
+  a per-read bit-error rate.
+* **No program/erase cycles during computation**: ``bop_add`` works
+  entirely in the latches, so wear accrues only when data is (re)placed
+  — :class:`WearTracker` accounts P/E cycles and remaining lifetime.
+
+:class:`FaultInjector` flips bits on reads with a configurable error
+rate (or deterministic stuck-at faults) so tests can measure how raw
+errors propagate through the bit-serial adder's carry chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .cell_array import Block
+
+
+@dataclass(frozen=True)
+class EspModel:
+    """Raw bit-error rates by programming mode.
+
+    Flash-Cosmos measures zero computation errors with ESP across
+    ~1.5e4 trials; we model ESP as orders of magnitude below default
+    SLC, which itself is well below TLC voltage sensing.
+    """
+
+    rber_esp_slc: float = 1e-12
+    rber_default_slc: float = 1e-8
+    rber_tlc: float = 1e-4
+
+    def rber(self, esp: bool, bits_per_cell: int = 1) -> float:
+        if bits_per_cell >= 3:
+            return self.rber_tlc
+        return self.rber_esp_slc if esp else self.rber_default_slc
+
+    def expected_errors(self, reads: int, bits_per_read: int, esp: bool) -> float:
+        return reads * bits_per_read * self.rber(esp)
+
+
+@dataclass
+class WearTracker:
+    """P/E-cycle accounting per block.
+
+    The headline reliability property of the IFP design: searching never
+    programs or erases, so query volume does not consume lifetime.
+    """
+
+    endurance_cycles: int = 30_000  # typical SLC-mode endurance
+    erase_counts: Dict[int, int] = field(default_factory=dict)
+    program_counts: Dict[int, int] = field(default_factory=dict)
+    searches_executed: int = 0
+
+    def record_erase(self, block_id: int) -> None:
+        self.erase_counts[block_id] = self.erase_counts.get(block_id, 0) + 1
+
+    def record_program(self, block_id: int) -> None:
+        self.program_counts[block_id] = self.program_counts.get(block_id, 0) + 1
+
+    def record_search(self) -> None:
+        self.searches_executed += 1
+
+    def cycles(self, block_id: int) -> int:
+        return self.erase_counts.get(block_id, 0)
+
+    def remaining_lifetime_fraction(self, block_id: int) -> float:
+        used = self.cycles(block_id) / self.endurance_cycles
+        return max(0.0, 1.0 - used)
+
+    def max_wear(self) -> int:
+        return max(self.erase_counts.values(), default=0)
+
+    def wear_imbalance(self) -> float:
+        """Max/mean erase-count ratio (1.0 = perfectly levelled)."""
+        if not self.erase_counts:
+            return 1.0
+        counts = list(self.erase_counts.values())
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 1.0
+
+
+class FaultInjector:
+    """Injects read faults into a block for failure-mode testing.
+
+    Two mechanisms:
+
+    * random bit flips at a configured raw bit-error rate, and
+    * deterministic stuck-at faults on (wordline, bitline) cells.
+    """
+
+    def __init__(self, rber: float = 0.0, seed: int = 0):
+        self.rber = rber
+        self.rng = np.random.default_rng(seed)
+        self.stuck_at: Dict[tuple, int] = {}
+        self.bits_flipped = 0
+
+    def add_stuck_at(self, wordline: int, bitline: int, value: int) -> None:
+        self.stuck_at[(wordline, bitline)] = value & 1
+
+    def corrupt_read(self, wordline: int, bits: np.ndarray) -> np.ndarray:
+        out = np.asarray(bits, dtype=np.uint8).copy()
+        if self.rber > 0:
+            flips = self.rng.random(len(out)) < self.rber
+            self.bits_flipped += int(flips.sum())
+            out ^= flips.astype(np.uint8)
+        for (wl, bl), value in self.stuck_at.items():
+            if wl == wordline and bl < len(out):
+                if out[bl] != value:
+                    self.bits_flipped += 1
+                out[bl] = value
+        return out
+
+
+class UnreliableBlock:
+    """A :class:`Block` wrapper whose reads pass through a fault
+    injector — drop-in substitute for failure-injection tests."""
+
+    def __init__(self, block: Block, injector: FaultInjector):
+        self._block = block
+        self._injector = injector
+
+    def read_wordline(self, wl: int) -> np.ndarray:
+        return self._injector.corrupt_read(wl, self._block.read_wordline(wl))
+
+    def __getattr__(self, name):
+        return getattr(self._block, name)
+
+
+def adder_error_probability(
+    word_bits: int, words: int, rber: float
+) -> float:
+    """Probability that at least one output word of a bit-serial add is
+    wrong, given a per-read-bit error rate.
+
+    Each of the ``word_bits`` reads touches every bitline once; a single
+    flipped bit corrupts (at least) its word.  Upper bound:
+    ``1 - (1 - rber)^(word_bits * words)``.
+    """
+    import math
+
+    exponent = word_bits * words
+    return 1.0 - math.exp(exponent * math.log1p(-rber)) if rber > 0 else 0.0

@@ -1,0 +1,314 @@
+"""Textbook BFV (Brakerski-Fan-Vercauteren) over ``Z_q[X]/(X^n+1)``.
+
+This is the scheme the paper builds on (§2.1).  The pieces CIPHERMATCH
+itself needs are encryption and coefficient-wise homomorphic addition
+(Eq. 4); homomorphic multiplication + relinearization and Galois
+automorphisms are implemented for the arithmetic and Boolean baselines
+and for the prior-work comparisons in §3.1.
+
+A ``noiseless`` encryption mode (zero error polynomials, caller-supplied
+masking polynomial ``u``) supports the paper's literal server-side
+"match polynomial" comparison; see ``DESIGN.md`` for the discussion of
+why semantically secure ciphertexts cannot be compared directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .keys import GaloisKey, PublicKey, RelinKey, SecretKey
+from .ntt import exact_negacyclic_convolution
+from .params import BFVParams
+from .poly import RingContext, RingPoly
+
+
+@dataclass
+class Plaintext:
+    """A plaintext polynomial with coefficients in ``[0, t)``."""
+
+    params: BFVParams
+    poly: RingPoly  # lives in R_t
+
+    def coefficients(self) -> np.ndarray:
+        return self.poly.coeffs.copy()
+
+
+@dataclass
+class Ciphertext:
+    """A (c0, c1) BFV ciphertext; ``size`` grows to 3 after tensoring."""
+
+    params: BFVParams
+    c0: RingPoly
+    c1: RingPoly
+    c2: Optional[RingPoly] = None
+
+    @property
+    def size(self) -> int:
+        return 2 if self.c2 is None else 3
+
+    @property
+    def serialized_bytes(self) -> int:
+        coeff_bytes = (self.params.log_q + 7) // 8
+        return self.size * self.params.n * coeff_bytes
+
+    def copy(self) -> "Ciphertext":
+        return Ciphertext(
+            self.params,
+            self.c0.copy(),
+            self.c1.copy(),
+            self.c2.copy() if self.c2 is not None else None,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Ciphertext)
+            and self.c0 == other.c0
+            and self.c1 == other.c1
+            and self.c2 == other.c2
+        )
+
+
+class OperationCounter:
+    """Counts homomorphic operations; the evaluation harness reads these
+    to drive the op-count performance models."""
+
+    def __init__(self) -> None:
+        self.additions = 0
+        self.plain_additions = 0
+        self.multiplications = 0
+        self.plain_multiplications = 0
+        self.relinearizations = 0
+        self.automorphisms = 0
+        self.encryptions = 0
+        self.decryptions = 0
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def snapshot(self) -> dict:
+        return dict(vars(self))
+
+
+class BFVContext:
+    """All BFV algorithms for one parameter set."""
+
+    def __init__(self, params: BFVParams, seed: int | None = None):
+        self.params = params
+        self.ring = RingContext(params.n, params.q)
+        self.plain_ring = RingContext(params.n, params.t)
+        self._rng = np.random.default_rng(seed)
+        self.counter = OperationCounter()
+
+    # ------------------------------------------------------------------
+    # Encoding (raw coefficient vectors; higher-level packing lives in
+    # repro.he.encoder / repro.core.packing)
+    # ------------------------------------------------------------------
+
+    def plaintext(self, coeffs) -> Plaintext:
+        return Plaintext(self.params, self.plain_ring.make(coeffs))
+
+    # ------------------------------------------------------------------
+    # Encryption / decryption
+    # ------------------------------------------------------------------
+
+    def encrypt(
+        self,
+        pt: Plaintext,
+        pk: PublicKey,
+        *,
+        noiseless: bool = False,
+        u: RingPoly | None = None,
+    ) -> Ciphertext:
+        """Public-key BFV encryption.
+
+        ``noiseless=True`` drops the error polynomials (e0 = e1 = 0);
+        combined with a caller-supplied ``u`` this makes encryption a
+        deterministic function of the message, which the paper's
+        server-side index generation implicitly requires.
+        """
+        self.counter.encryptions += 1
+        delta = self.params.delta
+        m_lifted = self.ring.make(pt.poly.coeffs)  # [0, t) embeds into [0, q)
+        scaled = m_lifted.scalar_mul(delta)
+        if u is None:
+            u = self.ring.random_ternary(self._rng)
+        if noiseless:
+            e0 = self.ring.zero()
+            e1 = self.ring.zero()
+        else:
+            e0 = self.ring.random_error(self._rng, self.params.sigma)
+            e1 = self.ring.random_error(self._rng, self.params.sigma)
+        c0 = pk.pk0 * u + e0 + scaled
+        c1 = pk.pk1 * u + e1
+        return Ciphertext(self.params, c0, c1)
+
+    def encrypt_symmetric(self, pt: Plaintext, sk: SecretKey) -> Ciphertext:
+        """Secret-key encryption (used by key-switching tests)."""
+        self.counter.encryptions += 1
+        a = self.ring.random_uniform(self._rng)
+        e = self.ring.random_error(self._rng, self.params.sigma)
+        scaled = self.ring.make(pt.poly.coeffs).scalar_mul(self.params.delta)
+        c0 = -(a * sk.s) - e + scaled
+        return Ciphertext(self.params, c0, a)
+
+    def decrypt(self, ct: Ciphertext, sk: SecretKey) -> Plaintext:
+        """Decrypt: ``round(t/q * (c0 + c1 s [+ c2 s^2])) mod t``."""
+        self.counter.decryptions += 1
+        phase = ct.c0 + ct.c1 * sk.s
+        if ct.c2 is not None:
+            phase = phase + ct.c2 * (sk.s * sk.s)
+        coeffs = self._scale_to_plaintext(phase)
+        return Plaintext(self.params, self.plain_ring.make(coeffs))
+
+    def _scale_to_plaintext(self, phase: RingPoly) -> np.ndarray:
+        q, t = self.params.q, self.params.t
+        centered = phase.centered()
+        out = np.empty(self.params.n, dtype=np.int64)
+        for i, c in enumerate(centered):
+            # round(t * c / q); floor((x + q/2) / q) rounds to nearest
+            # for negative x as well.
+            rounded = (t * int(c) + q // 2) // q
+            out[i] = rounded % t
+        return out
+
+    # ------------------------------------------------------------------
+    # Homomorphic operations
+    # ------------------------------------------------------------------
+
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Hom-Add (Eq. 4): coefficient-wise polynomial addition."""
+        self.counter.additions += 1
+        if a.size != 2 or b.size != 2:
+            raise ValueError("add expects size-2 ciphertexts (relinearize first)")
+        return Ciphertext(self.params, a.c0 + b.c0, a.c1 + b.c1)
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        self.counter.additions += 1
+        return Ciphertext(self.params, a.c0 - b.c0, a.c1 - b.c1)
+
+    def negate(self, a: Ciphertext) -> Ciphertext:
+        return Ciphertext(self.params, -a.c0, -a.c1)
+
+    def add_plain(self, a: Ciphertext, pt: Plaintext) -> Ciphertext:
+        self.counter.plain_additions += 1
+        scaled = self.ring.make(pt.poly.coeffs).scalar_mul(self.params.delta)
+        return Ciphertext(self.params, a.c0 + scaled, a.c1)
+
+    def multiply_plain(self, a: Ciphertext, pt: Plaintext) -> Ciphertext:
+        """Multiply by a plaintext polynomial (no delta scaling needed)."""
+        self.counter.plain_multiplications += 1
+        m = self.ring.make(pt.poly.coeffs)
+        return Ciphertext(self.params, a.c0 * m, a.c1 * m)
+
+    def multiply(
+        self, a: Ciphertext, b: Ciphertext, rlk: RelinKey | None = None
+    ) -> Ciphertext:
+        """Hom-Mult: tensor over Z, scale by t/q, optionally relinearize.
+
+        This is the operation CIPHERMATCH is designed to *avoid*; it is
+        implemented for the Yasuda-style arithmetic baseline and the
+        Boolean baseline's AND gates.
+        """
+        self.counter.multiplications += 1
+        if a.size != 2 or b.size != 2:
+            raise ValueError("multiply expects size-2 ciphertexts")
+        q, t = self.params.q, self.params.t
+
+        a0, a1 = a.c0.centered(), a.c1.centered()
+        b0, b1 = b.c0.centered(), b.c1.centered()
+
+        d0 = self._scale_round(exact_negacyclic_convolution(a0, b0), t, q)
+        cross = exact_negacyclic_convolution(a0, b1) + exact_negacyclic_convolution(
+            a1, b0
+        )
+        d1 = self._scale_round(cross, t, q)
+        d2 = self._scale_round(exact_negacyclic_convolution(a1, b1), t, q)
+
+        ct = Ciphertext(
+            self.params,
+            self.ring.make(d0),
+            self.ring.make(d1),
+            self.ring.make(d2),
+        )
+        if rlk is not None:
+            ct = self.relinearize(ct, rlk)
+        return ct
+
+    def _scale_round(self, exact_coeffs: np.ndarray, t: int, q: int) -> np.ndarray:
+        out = np.empty(len(exact_coeffs), dtype=object)
+        for i, c in enumerate(exact_coeffs):
+            out[i] = (t * int(c) + q // 2) // q % q
+        return out
+
+    def relinearize(self, ct: Ciphertext, rlk: RelinKey) -> Ciphertext:
+        """Key-switch the ``c2 * s^2`` term back onto (c0, c1)."""
+        if ct.c2 is None:
+            return ct
+        self.counter.relinearizations += 1
+        c0, c1 = ct.c0, ct.c1
+        digits = self._decompose(ct.c2, rlk.base_bits, rlk.num_digits)
+        for digit, (body, a) in zip(digits, rlk.components):
+            c0 = c0 + body * digit
+            c1 = c1 + a * digit
+        return Ciphertext(self.params, c0, c1)
+
+    def apply_galois(self, ct: Ciphertext, k: int, glk: GaloisKey) -> Ciphertext:
+        """Homomorphic ``X -> X^k`` automorphism via key switching."""
+        if not glk.supports(k):
+            raise ValueError(f"no Galois key for exponent {k}")
+        self.counter.automorphisms += 1
+        c0 = ct.c0.automorphism(k)
+        c1_mapped = ct.c1.automorphism(k)
+        out0 = c0
+        out1 = self.ring.zero()
+        digits = self._decompose(c1_mapped, glk.base_bits, len(glk.components[k]))
+        for digit, (body, a) in zip(digits, glk.components[k]):
+            out0 = out0 + body * digit
+            out1 = out1 + a * digit
+        return Ciphertext(self.params, out0, out1)
+
+    def _decompose(
+        self, poly: RingPoly, base_bits: int, num_digits: int
+    ) -> list[RingPoly]:
+        """Base-2**w digit decomposition of a polynomial's coefficients."""
+        mask = (1 << base_bits) - 1
+        coeffs = poly.coeffs.astype(object)
+        digits = []
+        for i in range(num_digits):
+            digit = np.array(
+                [(int(c) >> (i * base_bits)) & mask for c in coeffs],
+                dtype=np.int64,
+            )
+            digits.append(self.ring.make(digit))
+        return digits
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def noise_residual(self, ct: Ciphertext, sk: SecretKey) -> int:
+        """Max |noise| of the ciphertext: distance of the decryption phase
+        from the nearest lattice point ``delta * m``."""
+        phase = ct.c0 + ct.c1 * sk.s
+        if ct.c2 is not None:
+            phase = phase + ct.c2 * (sk.s * sk.s)
+        delta = self.params.delta
+        residual = 0
+        for c in phase.centered():
+            c = int(c)
+            nearest = round(c / delta) * delta
+            residual = max(residual, abs(c - nearest))
+        return residual
+
+    def noise_budget_bits(self, ct: Ciphertext, sk: SecretKey) -> float:
+        """Remaining noise budget in bits (<= 0 means decryption may fail)."""
+        import math
+
+        residual = self.noise_residual(ct, sk)
+        half_delta = self.params.delta / 2
+        if residual == 0:
+            return math.log2(half_delta)
+        return math.log2(half_delta) - math.log2(residual)

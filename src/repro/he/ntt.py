@@ -1,0 +1,202 @@
+"""Negacyclic Number-Theoretic Transform engine.
+
+Two services are provided on top of numpy ``int64`` arithmetic:
+
+* :class:`NttPlan` — forward/inverse negacyclic NTT modulo an NTT-friendly
+  prime ``p < 2**31`` (all butterfly products fit in int64), giving
+  O(n log n) multiplication in ``Z_p[X]/(X^n + 1)``.
+* :func:`exact_negacyclic_convolution` — the *exact integer* negacyclic
+  convolution of two (possibly signed) coefficient vectors, computed via
+  three distinct NTT primes and CRT reconstruction.  This is what the BFV
+  tensor step needs: the product must be formed over ``Z`` before the
+  ``t/q`` scaling, and it also lets the ring modulus ``q`` be an arbitrary
+  integer (e.g. the paper's ``q = 2**32``), not only an NTT prime.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from .primes import find_ntt_primes, mod_inverse, root_of_unity
+
+# Primes for the exact-convolution path must satisfy p < 2**31 so that a
+# butterfly product a*b (< 2**62) fits in int64.
+_CRT_PRIME_BITS = 30
+_CRT_PRIME_COUNT = 3
+
+
+def _bit_reverse_permutation(n: int) -> np.ndarray:
+    bits = n.bit_length() - 1
+    perm = np.arange(n)
+    out = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        out[i] = int(format(perm[i], f"0{bits}b")[::-1], 2)
+    return out
+
+
+class NttPlan:
+    """Precomputed tables for the negacyclic NTT of length ``n`` mod ``p``.
+
+    The negacyclic transform folds the ``X^n = -1`` wraparound into the
+    transform itself by pre-multiplying with powers of ``psi`` (a
+    primitive ``2n``-th root of unity) and post-multiplying the inverse
+    with powers of ``psi^-1``.
+    """
+
+    def __init__(self, n: int, p: int):
+        if n & (n - 1):
+            raise ValueError(f"ring degree must be a power of two, got {n}")
+        if (p - 1) % (2 * n) != 0:
+            raise ValueError(f"p={p} is not NTT-friendly for n={n}")
+        if p >= 1 << 31:
+            raise ValueError(f"NTT prime must be < 2**31 for int64 safety, got {p}")
+        self.n = n
+        self.p = p
+        psi = root_of_unity(2 * n, p)
+        omega = psi * psi % p
+        self._psi_pows = self._powers(psi, n, p)
+        self._ipsi_pows = self._powers(mod_inverse(psi, p), n, p)
+        self._n_inv = mod_inverse(n, p)
+        self._stage_twiddles = self._build_stage_twiddles(omega)
+        self._stage_itwiddles = self._build_stage_twiddles(mod_inverse(omega, p))
+        self._bitrev = _bit_reverse_permutation(n)
+
+    @staticmethod
+    def _powers(base: int, count: int, p: int) -> np.ndarray:
+        pows = np.empty(count, dtype=np.int64)
+        acc = 1
+        for i in range(count):
+            pows[i] = acc
+            acc = acc * base % p
+        return pows
+
+    def _build_stage_twiddles(self, omega: int) -> list[np.ndarray]:
+        """Per-stage twiddle vectors for an iterative Cooley-Tukey NTT."""
+        n, p = self.n, self.p
+        tables = []
+        length = 1
+        while length < n:
+            w = pow(omega, n // (2 * length), p)
+            tables.append(self._powers(w, length, p))
+            length *= 2
+        return tables
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Negacyclic forward NTT of ``coeffs`` (values reduced mod p)."""
+        a = (coeffs.astype(np.int64) % self.p) * self._psi_pows % self.p
+        return self._transform(a, self._stage_twiddles)
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Inverse negacyclic NTT, returning coefficients in ``[0, p)``."""
+        a = self._transform(values.astype(np.int64) % self.p, self._stage_itwiddles)
+        a = a * self._n_inv % self.p
+        return a * self._ipsi_pows % self.p
+
+    def _transform(self, a: np.ndarray, twiddles: list[np.ndarray]) -> np.ndarray:
+        p = self.p
+        a = a[self._bitrev].copy()
+        length = 1
+        stage = 0
+        while length < self.n:
+            w = twiddles[stage]
+            blocks = a.reshape(-1, 2 * length)
+            lo = blocks[:, :length].copy()
+            hi = blocks[:, length:] * w % p
+            blocks[:, :length] = (lo + hi) % p
+            blocks[:, length:] = (lo - hi) % p
+            length *= 2
+            stage += 1
+        return a
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Negacyclic product of two coefficient vectors modulo ``p``."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        return self.inverse(fa * fb % self.p)
+
+
+@lru_cache(maxsize=64)
+def get_plan(n: int, p: int) -> NttPlan:
+    """Cached :class:`NttPlan` lookup (plans are expensive to build)."""
+    return NttPlan(n, p)
+
+
+@lru_cache(maxsize=16)
+def _crt_primes(n: int) -> tuple[int, ...]:
+    return tuple(find_ntt_primes(_CRT_PRIME_BITS, n, _CRT_PRIME_COUNT))
+
+
+def exact_negacyclic_convolution(a: Sequence[int], b: Sequence[int]) -> np.ndarray:
+    """Exact signed negacyclic convolution of integer vectors ``a`` and ``b``.
+
+    Returns an ``object``-dtype numpy array of Python ints:
+    ``c_k = sum_{i+j=k} a_i b_j - sum_{i+j=k+n} a_i b_j`` computed over Z.
+
+    Correct whenever ``|c_k| < prod(primes) / 2``; with three 30-bit
+    primes that bound is ~2**89, comfortably above the ``n * q**2 / 4``
+    worst case for n <= 2**14 and q <= 2**36.  Larger operands fall back
+    to exact schoolbook convolution.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    n = len(a)
+    if len(b) != n:
+        raise ValueError("operands must have equal length")
+
+    primes = _crt_primes(n)
+    modulus = 1
+    for p in primes:
+        modulus *= p
+
+    max_mag = int(max(1, np.max(np.abs(a.astype(object))))) * int(
+        max(1, np.max(np.abs(b.astype(object))))
+    ) * n
+    if 2 * max_mag >= modulus:
+        return _schoolbook_negacyclic(a.astype(object), b.astype(object))
+
+    residues = []
+    for p in primes:
+        plan = get_plan(n, p)
+        residues.append(plan.multiply(a % p, b % p))
+
+    combined = _crt_combine(residues, primes)
+    half = modulus // 2
+    centered = np.where(combined > half, combined - modulus, combined)
+    return centered
+
+
+def _crt_combine(residues: list[np.ndarray], primes: Sequence[int]) -> np.ndarray:
+    """Garner CRT reconstruction into Python-int (object) arrays."""
+    modulus = 1
+    result = np.zeros(len(residues[0]), dtype=object)
+    for r, p in zip(residues, primes):
+        r_obj = r.astype(object)
+        if modulus == 1:
+            result = r_obj % p
+            modulus = p
+            continue
+        inv = mod_inverse(modulus % p, p)
+        diff = (r_obj - result) % p
+        result = result + (diff * inv % p) * modulus
+        modulus *= p
+    return result % modulus
+
+
+def _schoolbook_negacyclic(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """O(n^2) exact fallback used only for oversized operands and tests."""
+    n = len(a)
+    out = np.zeros(n, dtype=object)
+    for i in range(n):
+        ai = a[i]
+        if ai == 0:
+            continue
+        for j in range(n):
+            k = i + j
+            if k < n:
+                out[k] += ai * b[j]
+            else:
+                out[k - n] -= ai * b[j]
+    return out

@@ -1,0 +1,240 @@
+"""Polynomial ring ``R_q = Z_q[X] / (X^n + 1)``.
+
+:class:`RingContext` owns the (n, q) pair and the multiplication
+strategy; :class:`RingPoly` is a thin immutable-ish wrapper over a numpy
+``int64`` coefficient vector reduced to ``[0, q)``.
+
+Multiplication strategy:
+
+* if ``q`` is an NTT-friendly prime below 2**31, products use a single
+  negacyclic NTT (fast path, used by the mult-heavy baselines);
+* otherwise (e.g. the paper's ``q = 2**32``) products use the exact
+  three-prime CRT convolution and reduce mod ``q``.
+
+Coefficient moduli up to 2**62 are supported so that addition stays in
+int64 without overflow.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .ntt import exact_negacyclic_convolution, get_plan
+from .primes import is_prime
+
+
+class RingContext:
+    """The ring ``Z_q[X]/(X^n+1)`` plus cached multiplication machinery."""
+
+    def __init__(self, n: int, q: int):
+        if n < 2 or n & (n - 1):
+            raise ValueError(f"ring degree must be a power of two, got {n}")
+        if q < 2:
+            raise ValueError(f"modulus must be >= 2, got {q}")
+        if q.bit_length() > 62:
+            raise ValueError("moduli above 2**62 are not supported")
+        self.n = n
+        self.q = q
+        self._ntt_plan = None
+        if q < (1 << 31) and is_prime(q) and (q - 1) % (2 * n) == 0:
+            self._ntt_plan = get_plan(n, q)
+
+    @property
+    def uses_ntt(self) -> bool:
+        return self._ntt_plan is not None
+
+    # -- construction ---------------------------------------------------
+
+    def make(self, coeffs: Sequence[int] | np.ndarray) -> "RingPoly":
+        arr = np.asarray(coeffs)
+        if arr.shape != (self.n,):
+            raise ValueError(f"expected {self.n} coefficients, got shape {arr.shape}")
+        if arr.dtype == object:
+            arr = np.array([int(c) % self.q for c in arr], dtype=np.int64)
+        else:
+            arr = arr.astype(np.int64) % self.q
+        return RingPoly(self, arr)
+
+    def zero(self) -> "RingPoly":
+        return RingPoly(self, np.zeros(self.n, dtype=np.int64))
+
+    def constant(self, value: int) -> "RingPoly":
+        coeffs = np.zeros(self.n, dtype=np.int64)
+        coeffs[0] = value % self.q
+        return RingPoly(self, coeffs)
+
+    def monomial(self, degree: int, coefficient: int = 1) -> "RingPoly":
+        """``coefficient * X^degree`` with negacyclic wraparound."""
+        deg = degree % (2 * self.n)
+        sign = 1
+        if deg >= self.n:
+            deg -= self.n
+            sign = -1
+        coeffs = np.zeros(self.n, dtype=np.int64)
+        coeffs[deg] = (sign * coefficient) % self.q
+        return RingPoly(self, coeffs)
+
+    def random_uniform(self, rng: np.random.Generator) -> "RingPoly":
+        if self.q <= (1 << 63) - 1:
+            coeffs = rng.integers(0, self.q, size=self.n, dtype=np.int64)
+        else:  # pragma: no cover - q capped at 2**62 above
+            coeffs = np.array([int(rng.integers(0, self.q)) for _ in range(self.n)])
+        return RingPoly(self, coeffs)
+
+    def random_ternary(self, rng: np.random.Generator) -> "RingPoly":
+        """Uniform ternary polynomial ({-1, 0, 1}) — the secret-key sampler."""
+        coeffs = rng.integers(-1, 2, size=self.n, dtype=np.int64) % self.q
+        return RingPoly(self, coeffs)
+
+    def random_error(self, rng: np.random.Generator, sigma: float) -> "RingPoly":
+        """Rounded-Gaussian error polynomial with std-dev ``sigma``."""
+        coeffs = np.rint(rng.normal(0.0, sigma, size=self.n)).astype(np.int64) % self.q
+        return RingPoly(self, coeffs)
+
+    # -- arithmetic helpers ---------------------------------------------
+
+    def _mul_coeffs(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if self._ntt_plan is not None:
+            return self._ntt_plan.multiply(a, b)
+        exact = exact_negacyclic_convolution(a, b)
+        return np.array([int(c) % self.q for c in exact], dtype=np.int64)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RingContext) and self.n == other.n and self.q == other.q
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.q))
+
+    def __repr__(self) -> str:
+        return f"RingContext(n={self.n}, q={self.q})"
+
+
+class RingPoly:
+    """An element of ``R_q``.  Treat instances as immutable."""
+
+    __slots__ = ("ring", "coeffs")
+
+    def __init__(self, ring: RingContext, coeffs: np.ndarray):
+        self.ring = ring
+        self.coeffs = coeffs
+
+    # -- ring operations -------------------------------------------------
+
+    def _check(self, other: "RingPoly") -> None:
+        if self.ring != other.ring:
+            raise ValueError("ring mismatch")
+
+    def __add__(self, other: "RingPoly") -> "RingPoly":
+        self._check(other)
+        return RingPoly(self.ring, (self.coeffs + other.coeffs) % self.ring.q)
+
+    def __sub__(self, other: "RingPoly") -> "RingPoly":
+        self._check(other)
+        return RingPoly(self.ring, (self.coeffs - other.coeffs) % self.ring.q)
+
+    def __neg__(self) -> "RingPoly":
+        return RingPoly(self.ring, (-self.coeffs) % self.ring.q)
+
+    def __mul__(self, other: "RingPoly | int") -> "RingPoly":
+        if isinstance(other, int):
+            return self.scalar_mul(other)
+        self._check(other)
+        return RingPoly(self.ring, self.ring._mul_coeffs(self.coeffs, other.coeffs))
+
+    __rmul__ = __mul__
+
+    def scalar_mul(self, scalar: int) -> "RingPoly":
+        q = self.ring.q
+        scalar %= q
+        # int64 product overflows once the combined magnitude reaches 2**63.
+        if scalar.bit_length() + (q - 1).bit_length() < 63:
+            return RingPoly(self.ring, self.coeffs * scalar % q)
+        out = np.array(
+            [int(c) * scalar % q for c in self.coeffs], dtype=np.int64
+        )
+        return RingPoly(self.ring, out)
+
+    def shift(self, degree: int) -> "RingPoly":
+        """Multiply by ``X^degree`` (negacyclic rotation of coefficients)."""
+        n = self.ring.n
+        deg = degree % (2 * n)
+        sign = 1
+        if deg >= n:
+            deg -= n
+            sign = -1
+        rolled = np.roll(self.coeffs, deg)
+        if deg:
+            rolled[:deg] = (-rolled[:deg]) % self.ring.q
+        if sign == -1:
+            rolled = (-rolled) % self.ring.q
+        return RingPoly(self.ring, rolled)
+
+    def automorphism(self, k: int) -> "RingPoly":
+        """Apply ``X -> X^k`` for odd ``k`` (a Galois automorphism of R_q)."""
+        n = self.ring.n
+        if k % 2 == 0:
+            raise ValueError("Galois automorphisms require odd exponents")
+        out = np.zeros(n, dtype=np.int64)
+        k = k % (2 * n)
+        for i in range(n):
+            target = i * k % (2 * n)
+            if target < n:
+                out[target] = (out[target] + self.coeffs[i]) % self.ring.q
+            else:
+                out[target - n] = (out[target - n] - self.coeffs[i]) % self.ring.q
+        return RingPoly(self.ring, out)
+
+    # -- representation changes -------------------------------------------
+
+    def centered(self) -> np.ndarray:
+        """Coefficients lifted to the centered interval (-q/2, q/2] (object ints)."""
+        q = self.ring.q
+        half = q // 2
+        lifted = self.coeffs.astype(object)
+        return np.where(lifted > half, lifted - q, lifted)
+
+    def lift_mod(self, new_modulus: int) -> np.ndarray:
+        """Centered lift reduced into ``[0, new_modulus)`` (int64)."""
+        return np.array(
+            [int(c) % new_modulus for c in self.centered()], dtype=np.int64
+        )
+
+    def infinity_norm(self) -> int:
+        """Max |coefficient| of the centered representative."""
+        return int(max(abs(int(c)) for c in self.centered()))
+
+    # -- misc --------------------------------------------------------------
+
+    def copy(self) -> "RingPoly":
+        return RingPoly(self.ring, self.coeffs.copy())
+
+    def is_zero(self) -> bool:
+        return not self.coeffs.any()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RingPoly)
+            and self.ring == other.ring
+            and bool(np.array_equal(self.coeffs, other.coeffs))
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - polys are not dict keys
+        return hash((self.ring, self.coeffs.tobytes()))
+
+    def __repr__(self) -> str:
+        head = ", ".join(str(int(c)) for c in self.coeffs[:4])
+        return f"RingPoly(n={self.ring.n}, q={self.ring.q}, coeffs=[{head}, ...])"
+
+
+def poly_from_chunks(ring: RingContext, chunks: Iterable[int]) -> RingPoly:
+    """Build a polynomial whose i-th coefficient is the i-th chunk value."""
+    coeffs = np.zeros(ring.n, dtype=np.int64)
+    for i, chunk in enumerate(chunks):
+        if i >= ring.n:
+            raise ValueError("more chunks than ring coefficients")
+        coeffs[i] = chunk % ring.q
+    return RingPoly(ring, coeffs)

@@ -1,0 +1,132 @@
+"""Number-theoretic helpers for the BFV substrate.
+
+The NTT engine (:mod:`repro.he.ntt`) needs primes ``p`` with
+``p = 1 (mod 2n)`` so that a primitive ``2n``-th root of unity exists in
+``Z_p`` (negacyclic NTT).  Everything here is deterministic and pure
+Python; the sizes involved (<= 62-bit primes) make Miller-Rabin with the
+standard deterministic witness set exact.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+# Deterministic Miller-Rabin witnesses for all n < 3.3 * 10^24
+# (Sorenson & Webster, 2015).
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test for 64-bit-range integers."""
+    if n < 2:
+        return False
+    for p in _MR_WITNESSES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def find_ntt_prime(bit_length: int, n: int, *, below: int | None = None) -> int:
+    """Return the largest prime ``p < 2**bit_length`` with ``p = 1 (mod 2n)``.
+
+    ``below`` optionally caps the search strictly below a given value,
+    which lets callers pick several *distinct* NTT primes of the same
+    nominal size (used by the exact-convolution CRT path).
+    """
+    modulus = 2 * n
+    upper = (1 << bit_length) if below is None else below
+    # Largest candidate = 1 (mod 2n) strictly below ``upper``.
+    candidate = ((upper - 2) // modulus) * modulus + 1
+    while candidate > modulus:
+        if is_prime(candidate):
+            return candidate
+        candidate -= modulus
+    raise ValueError(
+        f"no NTT prime with {bit_length} bits for ring degree n={n}"
+    )
+
+
+def find_ntt_primes(bit_length: int, n: int, count: int) -> List[int]:
+    """Return ``count`` distinct NTT-friendly primes just below ``2**bit_length``."""
+    primes: List[int] = []
+    below = None
+    for _ in range(count):
+        p = find_ntt_prime(bit_length, n, below=below)
+        primes.append(p)
+        below = p
+    return primes
+
+
+def primitive_root(p: int) -> int:
+    """Smallest primitive root modulo prime ``p``."""
+    if not is_prime(p):
+        raise ValueError(f"{p} is not prime")
+    order = p - 1
+    factors = _prime_factors(order)
+    for g in range(2, p):
+        if all(pow(g, order // f, p) != 1 for f in factors):
+            return g
+    raise ValueError(f"no primitive root found for {p}")  # pragma: no cover
+
+
+def root_of_unity(order: int, p: int) -> int:
+    """A primitive ``order``-th root of unity in ``Z_p``.
+
+    Requires ``order | p - 1``.
+    """
+    if (p - 1) % order != 0:
+        raise ValueError(f"{order} does not divide p-1 for p={p}")
+    g = primitive_root(p)
+    root = pow(g, (p - 1) // order, p)
+    # ``root`` has order exactly ``order`` because g is primitive.
+    return root
+
+
+def _prime_factors(n: int) -> List[int]:
+    """Distinct prime factors of ``n`` by trial division (n <= 64-bit here)."""
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def mod_inverse(a: int, m: int) -> int:
+    """Modular inverse of ``a`` modulo ``m`` (raises if not invertible)."""
+    g, x, _ = _extended_gcd(a % m, m)
+    if g != 1:
+        raise ValueError(f"{a} has no inverse modulo {m}")
+    return x % m
+
+
+def _extended_gcd(a: int, b: int) -> tuple[int, int, int]:
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t

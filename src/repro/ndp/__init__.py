@@ -1,0 +1,27 @@
+"""Near-data-processing models: the SIMDRAM PuM engine, the
+memory-hierarchy data-movement model (Figure 3), and the performance and
+energy models of the four evaluated systems (Figures 10-12)."""
+
+from .datamovement import ComputeSite, TransferLatencyModel
+from .energymodel import HardwareEnergyModel
+from .perfmodel import (
+    HardwarePerformanceModel,
+    HardwareSystem,
+    OverheadReport,
+    WorkloadPoint,
+)
+from .simdram import SimdramEngine, SimdramSubarray, SimdramTimings, majority3
+
+__all__ = [
+    "ComputeSite",
+    "HardwareEnergyModel",
+    "HardwarePerformanceModel",
+    "HardwareSystem",
+    "OverheadReport",
+    "SimdramEngine",
+    "SimdramSubarray",
+    "SimdramTimings",
+    "TransferLatencyModel",
+    "WorkloadPoint",
+    "majority3",
+]

@@ -1,0 +1,95 @@
+"""Memory-hierarchy data-movement model (Figure 3 and Key Takeaway 2).
+
+Models the latency of moving an encrypted database from the NAND flash
+chips to three compute sites: the CPU, main-memory (PuM/PnM), and the
+SSD controller.  The paper's observation: for all database sizes the
+SSD-controller site cuts transfer latency by >80%, and main memory's
+advantage evaporates once the database exceeds DRAM capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List
+
+from ..eval.calibration import BandwidthConfig, DataMovementCalibration
+
+
+class ComputeSite(Enum):
+    CPU = "CPU"
+    MAIN_MEMORY = "Main memory"
+    STORAGE = "Storage"
+
+
+@dataclass
+class TransferLatencyModel:
+    """Transfer-latency estimates per compute site.
+
+    Paths:
+
+    * storage (SSD controller): one pass over the internal flash
+      channels.
+    * main memory: internal channels + host I/O (PCIe with software
+      efficiency factor); data beyond DRAM capacity must be re-staged,
+      which is modelled as a second host-I/O pass for the excess.
+    * CPU: the main-memory path plus ``cpu_dram_passes`` DRAM trips for
+      the CPU to consume the data.
+    """
+
+    bandwidths: BandwidthConfig = field(default_factory=BandwidthConfig)
+    calibration: DataMovementCalibration = field(
+        default_factory=DataMovementCalibration
+    )
+
+    @property
+    def effective_host_io(self) -> float:
+        return self.bandwidths.pcie_bytes_per_s * self.calibration.host_io_efficiency
+
+    def storage_latency(self, size_bytes: float) -> float:
+        return size_bytes / self.bandwidths.flash_internal_bytes_per_s
+
+    def _excess(self, size_bytes: float) -> float:
+        return max(0.0, size_bytes - self.calibration.dram_capacity_bytes)
+
+    def main_memory_latency(self, size_bytes: float) -> float:
+        base = self.storage_latency(size_bytes) + size_bytes / self.effective_host_io
+        restage = self._excess(size_bytes) / self.effective_host_io
+        return base + restage
+
+    def cpu_latency(self, size_bytes: float) -> float:
+        dram_trips = (
+            self.calibration.cpu_dram_passes
+            * size_bytes
+            / self.bandwidths.dram_bytes_per_s
+        )
+        return self.main_memory_latency(size_bytes) + dram_trips
+
+    def latency(self, size_bytes: float, site: ComputeSite) -> float:
+        if site is ComputeSite.STORAGE:
+            return self.storage_latency(size_bytes)
+        if site is ComputeSite.MAIN_MEMORY:
+            return self.main_memory_latency(size_bytes)
+        return self.cpu_latency(size_bytes)
+
+    def normalized_to_cpu(self, size_bytes: float) -> Dict[ComputeSite, float]:
+        """Figure 3's metric: latency normalized to the CPU path (=100)."""
+        cpu = self.cpu_latency(size_bytes)
+        return {
+            site: 100.0 * self.latency(size_bytes, site) / cpu
+            for site in ComputeSite
+        }
+
+    def sweep(self, sizes_bytes: List[float]) -> List[Dict]:
+        rows = []
+        for size in sizes_bytes:
+            norm = self.normalized_to_cpu(size)
+            rows.append(
+                {
+                    "size_gib": size / 1024**3,
+                    "cpu": norm[ComputeSite.CPU],
+                    "main_memory": norm[ComputeSite.MAIN_MEMORY],
+                    "storage": norm[ComputeSite.STORAGE],
+                }
+            )
+        return rows

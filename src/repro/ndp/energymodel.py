@@ -1,0 +1,91 @@
+"""Energy models for the hardware comparison (Figure 11).
+
+Energy = staging energy (per-byte movement cost on the path used) +
+compute energy (per-coefficient-add cost of the engine).  CM-SW energy
+is socket power x the latency model's time, matching the paper's
+RAPL-based methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..eval.calibration import GIB, HardwareFamilyCalibration
+from .perfmodel import HardwarePerformanceModel, HardwareSystem, WorkloadPoint
+
+
+@dataclass
+class HardwareEnergyModel:
+    cal: HardwareFamilyCalibration = field(
+        default_factory=HardwareFamilyCalibration
+    )
+
+    def __post_init__(self) -> None:
+        self._perf = HardwarePerformanceModel(self.cal)
+
+    # -- per-system energy ----------------------------------------------------
+
+    def energy_cm_sw(self, w: WorkloadPoint) -> float:
+        return self._perf.time_cm_sw(w) * self.cal.e_sw_watts
+
+    def energy_cm_pum(self, w: WorkloadPoint) -> float:
+        stagings = (
+            w.num_queries if w.encrypted_bytes > self.cal.dram_capacity_bytes else 1
+        )
+        fetch = stagings * w.encrypted_bytes * self.cal.e_fetch_pcie_per_byte
+        compute = (
+            w.num_queries * w.coeff_adds_per_query * self.cal.e_pum_per_coeff
+        )
+        return fetch + compute
+
+    def energy_cm_pum_ssd(self, w: WorkloadPoint) -> float:
+        stagings = (
+            w.num_queries
+            if w.encrypted_bytes > self.cal.internal_dram_capacity_bytes
+            else 1
+        )
+        fetch = stagings * w.encrypted_bytes * self.cal.e_fetch_internal_per_byte
+        compute = (
+            w.num_queries * w.coeff_adds_per_query * self.cal.e_pum_ssd_per_coeff
+        )
+        return fetch + compute
+
+    def energy_cm_ifp(self, w: WorkloadPoint) -> float:
+        return w.num_queries * w.coeff_adds_per_query * self.cal.e_ifp_per_coeff
+
+    def energy(self, system: HardwareSystem, w: WorkloadPoint) -> float:
+        return {
+            HardwareSystem.CM_SW: self.energy_cm_sw,
+            HardwareSystem.CM_PUM: self.energy_cm_pum,
+            HardwareSystem.CM_PUM_SSD: self.energy_cm_pum_ssd,
+            HardwareSystem.CM_IFP: self.energy_cm_ifp,
+        }[system](w)
+
+    # -- figure generator --------------------------------------------------------
+
+    def savings_over_sw(self, w: WorkloadPoint) -> Dict[HardwareSystem, float]:
+        base = self.energy_cm_sw(w)
+        return {
+            system: base / self.energy(system, w)
+            for system in HardwareSystem
+            if system is not HardwareSystem.CM_SW
+        }
+
+    def figure11(
+        self, query_sizes: List[int], encrypted_bytes: float = 128 * GIB
+    ) -> List[Dict]:
+        """Energy reduction vs CM-SW vs query size (Figure 11)."""
+        rows = []
+        for y in query_sizes:
+            w = WorkloadPoint(encrypted_bytes, y, num_queries=1)
+            s = self.savings_over_sw(w)
+            rows.append(
+                {
+                    "query_bits": y,
+                    "cm_pum": s[HardwareSystem.CM_PUM],
+                    "cm_pum_ssd": s[HardwareSystem.CM_PUM_SSD],
+                    "cm_ifp": s[HardwareSystem.CM_IFP],
+                }
+            )
+        return rows

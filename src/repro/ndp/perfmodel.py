@@ -1,0 +1,206 @@
+"""Performance models for the four evaluated systems (§5.2):
+CM-SW (compute-centric), CM-PuM (memory-centric), CM-PuM-SSD
+(storage-DRAM-centric) and CM-IFP (in-flash) — Figures 10 and 12.
+
+Each model computes the wall-clock time of a query batch as
+``staging + compute`` with the system's own data path:
+
+* **CM-SW** — scans the encrypted database from the SSD (effective
+  scan throughput folds in page-fault/OS overheads) and executes
+  Hom-Adds on the CPU.  Databases that fit in DRAM are scanned once per
+  batch; larger ones are re-scanned per query.
+* **CM-PuM** — stages the database into compute-capable external DRAM
+  (PCIe + vertical-layout staging), then bit-serial adds in DRAM.
+  Staging amortizes across the batch only when the database fits.
+* **CM-PuM-SSD** — same engine inside the SSD's 2 GB LPDDR4: staging
+  uses the internal flash channels, but the small DRAM means every
+  query re-streams the database through it.
+* **CM-IFP** — no staging at all: the database is resident in the
+  CIPHERMATCH flash region; each query variant is broadcast and
+  ``bop_add`` executes across all planes (cost per coefficient derived
+  from Eqn 9 and the bitline parallelism of the Table-3 geometry).
+
+Constants and their provenance live in
+:class:`repro.eval.calibration.HardwareFamilyCalibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List
+
+from ..eval.calibration import (
+    GIB,
+    HardwareFamilyCalibration,
+    variants_for_query,
+)
+
+
+class HardwareSystem(Enum):
+    CM_SW = "CM-SW"
+    CM_PUM = "CM-PuM"
+    CM_PUM_SSD = "CM-PuM-SSD"
+    CM_IFP = "CM-IFP"
+
+
+@dataclass
+class WorkloadPoint:
+    """One evaluation point: encrypted DB size, query size, query count."""
+
+    encrypted_bytes: float
+    query_bits: int
+    num_queries: int = 1
+    chunk_width: int = 16
+
+    @property
+    def num_coefficients(self) -> float:
+        """32-bit coefficients in the encrypted database (both tuple
+        polynomials included)."""
+        return self.encrypted_bytes / 4.0
+
+    @property
+    def variants(self) -> int:
+        return variants_for_query(self.query_bits, self.chunk_width)
+
+    @property
+    def coeff_adds_per_query(self) -> float:
+        return self.num_coefficients * self.variants
+
+
+@dataclass
+class HardwarePerformanceModel:
+    cal: HardwareFamilyCalibration = field(
+        default_factory=HardwareFamilyCalibration
+    )
+
+    # -- per-system latency ------------------------------------------------
+
+    def time_cm_sw(self, w: WorkloadPoint) -> float:
+        scan = w.encrypted_bytes / self.cal.sw_scan_bytes_per_s
+        scans = w.num_queries if w.encrypted_bytes > self.cal.dram_capacity_bytes else 1
+        compute = w.num_queries * w.coeff_adds_per_query * self.cal.c_sw
+        return scans * scan + compute
+
+    def time_cm_pum(self, w: WorkloadPoint) -> float:
+        staging = w.encrypted_bytes / self.cal.pum_staging_bytes_per_s
+        stagings = (
+            w.num_queries if w.encrypted_bytes > self.cal.dram_capacity_bytes else 1
+        )
+        compute = w.num_queries * w.coeff_adds_per_query * self.cal.c_pum
+        return stagings * staging + compute
+
+    def time_cm_pum_ssd(self, w: WorkloadPoint) -> float:
+        # 2 GB internal DRAM never fits the encrypted DB: stream per query.
+        staging = w.encrypted_bytes / self.cal.pum_ssd_staging_bytes_per_s
+        stagings = (
+            w.num_queries
+            if w.encrypted_bytes > self.cal.internal_dram_capacity_bytes
+            else 1
+        )
+        compute = w.num_queries * w.coeff_adds_per_query * self.cal.c_pum_ssd
+        return stagings * staging + compute
+
+    def time_cm_ifp(self, w: WorkloadPoint) -> float:
+        # data is resident; only the query ciphertexts move (negligible
+        # next to compute, but modelled: one page DMA per variant per
+        # channel wave).
+        compute = w.num_queries * w.coeff_adds_per_query * self.cal.c_ifp
+        query_bytes = w.variants * 2.0 * 4096 * w.num_queries
+        broadcast = query_bytes / (
+            self.cal.geometry.channels * 1.2e9
+        )
+        return compute + broadcast
+
+    def time(self, system: HardwareSystem, w: WorkloadPoint) -> float:
+        return {
+            HardwareSystem.CM_SW: self.time_cm_sw,
+            HardwareSystem.CM_PUM: self.time_cm_pum,
+            HardwareSystem.CM_PUM_SSD: self.time_cm_pum_ssd,
+            HardwareSystem.CM_IFP: self.time_cm_ifp,
+        }[system](w)
+
+    # -- figure generators -----------------------------------------------
+
+    def speedups_over_sw(self, w: WorkloadPoint) -> Dict[HardwareSystem, float]:
+        base = self.time_cm_sw(w)
+        return {
+            system: base / self.time(system, w)
+            for system in HardwareSystem
+            if system is not HardwareSystem.CM_SW
+        }
+
+    def figure10(
+        self, query_sizes: List[int], encrypted_bytes: float = 128 * GIB
+    ) -> List[Dict]:
+        """Speedup over CM-SW vs query size (single query, 128 GB DB)."""
+        rows = []
+        for y in query_sizes:
+            w = WorkloadPoint(encrypted_bytes, y, num_queries=1)
+            s = self.speedups_over_sw(w)
+            rows.append(
+                {
+                    "query_bits": y,
+                    "cm_pum": s[HardwareSystem.CM_PUM],
+                    "cm_pum_ssd": s[HardwareSystem.CM_PUM_SSD],
+                    "cm_ifp": s[HardwareSystem.CM_IFP],
+                }
+            )
+        return rows
+
+    def figure12(
+        self, db_sizes: List[float], query_bits: int = 16, num_queries: int = 1000
+    ) -> List[Dict]:
+        """Speedup over CM-SW vs encrypted DB size (1000 queries)."""
+        rows = []
+        for size in db_sizes:
+            w = WorkloadPoint(size, query_bits, num_queries=num_queries)
+            s = self.speedups_over_sw(w)
+            rows.append(
+                {
+                    "db_gib": size / GIB,
+                    "cm_pum": s[HardwareSystem.CM_PUM],
+                    "cm_pum_ssd": s[HardwareSystem.CM_PUM_SSD],
+                    "cm_ifp": s[HardwareSystem.CM_IFP],
+                }
+            )
+        return rows
+
+
+@dataclass
+class OverheadReport:
+    """§6.3 + §7.1 overhead analysis of CM-IFP."""
+
+    cal: HardwareFamilyCalibration = field(
+        default_factory=HardwareFamilyCalibration
+    )
+
+    def result_buffer_bytes(self) -> int:
+        """Internal-DRAM space for one wave of Hom-Add results:
+        page x channels x dies x planes (§6.3: 0.5 MB)."""
+        g = self.cal.geometry
+        return g.page_bytes * g.channels * g.dies_per_channel * g.planes_per_die
+
+    def microprogram_bytes(self) -> int:
+        """The bop_add µ-program footprint (§6.3: < 1 KB)."""
+        return 512
+
+    def area_overhead_fraction(self) -> float:
+        """ParaBit latch modifications: ~0.6% of NAND die area (§6.3)."""
+        return 0.006
+
+    def slc_capacity_loss_fraction(self, cm_region_fraction: float = 0.5) -> float:
+        """Capacity lost by running the CM region in SLC (1 of 3 bits)."""
+        return cm_region_fraction * (1 - 1 / 3) * 1.0  # fraction of TLC capacity
+
+    def transposition_hw_latency(self) -> float:
+        return 158e-9  # §7.1, 22 nm synthesis
+
+    def transposition_hw_area_mm2(self) -> float:
+        return 0.24  # §7.1
+
+    def aes_latency(self) -> float:
+        return 12.6e-9  # §7.2, per 16-byte block
+
+    def aes_area_mm2(self) -> float:
+        return 0.13  # §7.2

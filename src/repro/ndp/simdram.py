@@ -1,0 +1,129 @@
+"""SIMDRAM-style processing-using-memory engine (the CM-PuM and
+CM-PuM-SSD comparison points, §5.2).
+
+SIMDRAM [49] computes bit-serial arithmetic with triple-row-activation
+majority operations on vertically-laid-out data.  This module provides
+
+* a *functional* bit-serial adder over a DRAM-subarray abstraction
+  (same vertical layout as the flash adder, but majority/NOT gates), and
+* a timing/energy model based on Table 3's ``Tbbop = 49 ns`` /
+  ``Ebbop = 0.864 nJ`` bulk-bitwise-operation constants.
+
+A full adder in majority logic: ``carry = MAJ(a, b, c)`` and
+``sum = MAJ(MAJ(a, b, c̄)·... `` — SIMDRAM synthesizes it with 7 bulk
+ops per bit position; we adopt that count for the timing model and use
+the logic below for functional equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..flash.microprogram import vertical_to_words, words_to_vertical
+
+
+@dataclass(frozen=True)
+class SimdramTimings:
+    """DRAM bulk-bitwise-op constants (Table 3)."""
+
+    t_bbop: float = 49e-9  # one bulk bitwise op (AAP sequence)
+    e_bbop: float = 0.864e-9  # energy per bulk op
+    ops_per_bit_add: int = 7  # MAJ/NOT full-adder synthesis (SIMDRAM)
+    row_bytes: int = 8192  # one DRAM row
+
+    @property
+    def t_bit_add(self) -> float:
+        return self.ops_per_bit_add * self.t_bbop
+
+    def t_word_add(self, word_bits: int = 32) -> float:
+        return word_bits * self.t_bit_add
+
+    def e_word_add(self, word_bits: int = 32) -> float:
+        return word_bits * self.ops_per_bit_add * self.e_bbop
+
+
+def majority3(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Bitwise 3-input majority — the triple-row-activation primitive."""
+    return ((a & b) | (b & c) | (a & c)).astype(np.uint8)
+
+
+@dataclass
+class SimdramSubarray:
+    """A DRAM subarray holding vertically-laid-out operands."""
+
+    num_columns: int = 65536  # 8 KiB row
+    word_bits: int = 32
+    rows: dict = field(default_factory=dict)
+    timings: SimdramTimings = field(default_factory=SimdramTimings)
+    bulk_ops: int = 0
+    simulated_seconds: float = 0.0
+    simulated_joules: float = 0.0
+
+    def _charge(self, ops: int) -> None:
+        self.bulk_ops += ops
+        self.simulated_seconds += ops * self.timings.t_bbop
+        self.simulated_joules += ops * self.timings.e_bbop
+
+    def store_operand(self, name: str, words: np.ndarray) -> None:
+        self.rows[name] = words_to_vertical(
+            np.asarray(words, dtype=np.int64), self.word_bits, self.num_columns
+        )
+
+    def load_operand(self, name: str, count: int) -> np.ndarray:
+        return vertical_to_words(self.rows[name], count)
+
+    def add(self, a_name: str, b_name: str, out_name: str) -> None:
+        """Bit-serial majority-logic addition of two stored operands.
+
+        Per bit: carry' = MAJ(a, b, carry); sum = a ^ b ^ carry, where
+        the XORs are themselves synthesized from MAJ/NOT in SIMDRAM —
+        the 7-bulk-op budget per bit is charged here.
+        """
+        a = self.rows[a_name]
+        b = self.rows[b_name]
+        out = np.zeros_like(a)
+        carry = np.zeros(self.num_columns, dtype=np.uint8)
+        for i in range(self.word_bits):
+            out[i] = a[i] ^ b[i] ^ carry
+            carry = majority3(a[i], b[i], carry)
+            self._charge(self.timings.ops_per_bit_add)
+        self.rows[out_name] = out
+
+
+class SimdramEngine:
+    """Multi-subarray PuM engine with a parallelism model.
+
+    ``concurrent_subarrays`` controls how many subarrays can execute
+    bulk ops simultaneously (limited by command bandwidth and power);
+    the makespan helper mirrors :meth:`FlashArray.parallel_makespan`.
+    """
+
+    def __init__(
+        self,
+        num_subarrays: int = 64,
+        concurrent_subarrays: Optional[int] = None,
+        word_bits: int = 32,
+    ):
+        self.timings = SimdramTimings()
+        self.word_bits = word_bits
+        self.num_subarrays = num_subarrays
+        self.concurrent = concurrent_subarrays or num_subarrays
+        self.subarrays = [
+            SimdramSubarray(word_bits=word_bits) for _ in range(num_subarrays)
+        ]
+
+    @property
+    def parallel_words(self) -> int:
+        return self.concurrent * self.subarrays[0].num_columns
+
+    def makespan(self, total_word_adds: int) -> float:
+        waves = -(-total_word_adds // self.parallel_words)
+        return waves * self.timings.t_word_add(self.word_bits)
+
+    def energy(self, total_word_adds: int) -> float:
+        return total_word_adds * self.timings.e_word_add(self.word_bits) / (
+            self.subarrays[0].num_columns
+        )

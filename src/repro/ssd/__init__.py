@@ -1,0 +1,64 @@
+"""SSD system model: dual-region FTL, data transposition, index
+generation, controller command handling, host interface, and the
+assembled CM-IFP device with its in-flash Hom-Add backend."""
+
+from .aes import AES, SecureIndexChannel, aes_ctr
+from .controller import ControllerConfig, SearchOutcome, SSDController
+from .gc import GarbageCollector, GcStats, SlotState
+from .device import CipherMatchSSD, IFPAdditionBackend, SSDConfig
+from .dram import InternalDram
+from .ftl import FlashTranslationLayer, MappingTable, PhysicalAddress, Region
+from .host import HostPager, PagerConfig, PagerStats
+from .index_gen import IndexGenCosts, IndexGenerationUnit
+from .interface import (
+    HostCommand,
+    HostCommandKind,
+    HostInterfaceLayer,
+    HostResponse,
+)
+from .queueing import (
+    IoRequest,
+    RequestKind,
+    SimulationResult,
+    SsdQueueingSimulator,
+    cm_search_wave,
+    simulate_cm_search,
+)
+from .transpose import DataTranspositionUnit, TranspositionCosts
+
+__all__ = [
+    "IoRequest",
+    "RequestKind",
+    "SimulationResult",
+    "SsdQueueingSimulator",
+    "cm_search_wave",
+    "simulate_cm_search",
+    "AES",
+    "CipherMatchSSD",
+    "GarbageCollector",
+    "GcStats",
+    "SecureIndexChannel",
+    "SlotState",
+    "aes_ctr",
+    "ControllerConfig",
+    "DataTranspositionUnit",
+    "FlashTranslationLayer",
+    "HostCommand",
+    "HostCommandKind",
+    "HostPager",
+    "PagerConfig",
+    "PagerStats",
+    "HostInterfaceLayer",
+    "HostResponse",
+    "IFPAdditionBackend",
+    "IndexGenCosts",
+    "IndexGenerationUnit",
+    "InternalDram",
+    "MappingTable",
+    "PhysicalAddress",
+    "Region",
+    "SSDConfig",
+    "SSDController",
+    "SearchOutcome",
+    "TranspositionCosts",
+]

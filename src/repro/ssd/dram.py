@@ -1,0 +1,47 @@
+"""SSD-internal DRAM model (2 GB LPDDR4-1866 in Table 3).
+
+Used for L2P mapping-table caching, result buffering for index
+generation (0.5 MB, §6.3) and as the compute substrate of the
+CM-PuM-SSD comparison point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass
+class InternalDram:
+    capacity_bytes: int = 2 * 1024**3
+    bandwidth_bytes_per_s: float = 14.9e9  # LPDDR4-1866 x64 peak
+    used_bytes: int = 0
+    _store: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def transfer_time(self, num_bytes: int) -> float:
+        return num_bytes / self.bandwidth_bytes_per_s
+
+    def allocate(self, key: str, array: np.ndarray) -> None:
+        size = array.nbytes
+        existing = self._store.get(key)
+        if existing is not None:
+            self.used_bytes -= existing.nbytes
+        if self.used_bytes + size > self.capacity_bytes:
+            raise MemoryError(
+                f"internal DRAM exhausted: {self.used_bytes + size} > {self.capacity_bytes}"
+            )
+        self._store[key] = array
+        self.used_bytes += size
+
+    def read(self, key: str) -> np.ndarray:
+        return self._store[key]
+
+    def free(self, key: str) -> None:
+        arr = self._store.pop(key, None)
+        if arr is not None:
+            self.used_bytes -= arr.nbytes
+
+    def contains(self, key: str) -> bool:
+        return key in self._store

@@ -1,0 +1,148 @@
+"""Garbage collection and wear leveling for the CIPHERMATCH region.
+
+The FTL owns GC (§2.3); the CIPHERMATCH region adds a twist: slots are
+invalidated by out-of-place rewrites of encrypted-database polynomials,
+and a block can only be reclaimed by migrating its still-valid vertical
+slots.  Greedy victim selection (most invalid slots) with a wear-aware
+tiebreak keeps erase counts levelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..flash.reliability import WearTracker
+
+BlockId = Tuple[int, int]  # (plane_index, block)
+
+
+class SlotState(Enum):
+    FREE = "free"
+    VALID = "valid"
+    INVALID = "invalid"
+
+
+@dataclass
+class SlotInfo:
+    block: BlockId
+    slot_in_block: int
+    state: SlotState = SlotState.FREE
+    lpn: Optional[int] = None
+
+
+@dataclass
+class GcStats:
+    collections: int = 0
+    slots_migrated: int = 0
+    blocks_erased: int = 0
+
+
+class GarbageCollector:
+    """Slot-granular GC over the CIPHERMATCH region.
+
+    This is a bookkeeping model layered over the FTL's allocation
+    stream: callers report slot writes and invalidations; the collector
+    decides victims and produces migration plans.  (The functional SSD
+    executes the plans by re-programming slots; tests drive both.)
+    """
+
+    def __init__(
+        self,
+        slots_per_block: int,
+        wear: Optional[WearTracker] = None,
+        *,
+        gc_threshold_free_fraction: float = 0.1,
+    ):
+        self.slots_per_block = slots_per_block
+        self.wear = wear or WearTracker()
+        self.gc_threshold = gc_threshold_free_fraction
+        self._slots: Dict[BlockId, List[SlotInfo]] = {}
+        self.stats = GcStats()
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def register_block(self, block: BlockId) -> None:
+        if block not in self._slots:
+            self._slots[block] = [
+                SlotInfo(block, i) for i in range(self.slots_per_block)
+            ]
+
+    def note_write(self, block: BlockId, slot_in_block: int, lpn: int) -> None:
+        self.register_block(block)
+        info = self._slots[block][slot_in_block]
+        if info.state is SlotState.VALID:
+            raise RuntimeError("slot already valid; invalidate first")
+        info.state = SlotState.VALID
+        info.lpn = lpn
+        self.wear.record_program(hash(block))
+
+    def note_invalidate(self, block: BlockId, slot_in_block: int) -> None:
+        info = self._slots[block][slot_in_block]
+        info.state = SlotState.INVALID
+        info.lpn = None
+
+    # -- occupancy queries ---------------------------------------------------
+
+    def counts(self, block: BlockId) -> Dict[SlotState, int]:
+        out = {state: 0 for state in SlotState}
+        for slot in self._slots.get(block, []):
+            out[slot.state] += 1
+        return out
+
+    def free_fraction(self) -> float:
+        total = free = 0
+        for slots in self._slots.values():
+            for slot in slots:
+                total += 1
+                if slot.state is SlotState.FREE:
+                    free += 1
+        return free / total if total else 1.0
+
+    def needs_collection(self) -> bool:
+        return self.free_fraction() < self.gc_threshold
+
+    # -- victim selection and collection -----------------------------------------
+
+    def select_victim(self) -> Optional[BlockId]:
+        """Greedy: most invalid slots; tiebreak on lowest erase count
+        (wear leveling); blocks with zero invalid slots are not victims."""
+        best = None
+        best_key = None
+        for block, slots in self._slots.items():
+            invalid = sum(1 for s in slots if s.state is SlotState.INVALID)
+            if invalid == 0:
+                continue
+            key = (-invalid, self.wear.cycles(hash(block)))
+            if best_key is None or key < best_key:
+                best, best_key = block, key
+        return best
+
+    def collect(self, block: BlockId) -> List[Tuple[int, int]]:
+        """Erase ``block``; returns the migration list of
+        ``(lpn, slot_in_block)`` pairs for the valid slots the caller
+        must rewrite elsewhere *before* data is lost (the model returns
+        the plan; callers re-issue the writes)."""
+        slots = self._slots[block]
+        migrations = [
+            (slot.lpn, slot.slot_in_block)
+            for slot in slots
+            if slot.state is SlotState.VALID and slot.lpn is not None
+        ]
+        for slot in slots:
+            slot.state = SlotState.FREE
+            slot.lpn = None
+        self.wear.record_erase(hash(block))
+        self.stats.collections += 1
+        self.stats.blocks_erased += 1
+        self.stats.slots_migrated += len(migrations)
+        return migrations
+
+    def run_if_needed(self) -> List[Tuple[int, int]]:
+        if not self.needs_collection():
+            return []
+        victim = self.select_victim()
+        if victim is None:
+            return []
+        return self.collect(victim)

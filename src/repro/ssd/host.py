@@ -1,0 +1,145 @@
+"""Host-side OS support (§4.3.2 items 2-3): page faults into the
+CIPHERMATCH region, huge-page handling with a retry timeout, and dirty
+writebacks.
+
+Reads from the CIPHERMATCH region are long-latency (``word_bits`` flash
+wordline reads per page, transposition overlapped); the OS page-fault
+handler therefore uses huge pages and a configurable timeout before a
+retry.  Dirty writebacks are asynchronous and pass through the
+transposition unit, so they cost the application nothing on the
+critical path.  This module models exactly that control flow over the
+functional SSD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .controller import SSDController
+from .ftl import Region
+
+
+@dataclass(frozen=True)
+class PagerConfig:
+    huge_page_bytes: int = 2 * 1024 * 1024
+    fault_timeout_s: float = 5e-3  # max wait before a retry
+    max_retries: int = 3
+    flash_read_latency_s: float = 22.5e-6
+
+
+@dataclass
+class PagerStats:
+    faults: int = 0
+    cm_region_faults: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    writebacks: int = 0
+    simulated_fault_seconds: float = 0.0
+    simulated_writeback_seconds: float = 0.0
+
+
+class HostPager:
+    """A minimal OS pager over the CIPHERMATCH SSD.
+
+    Pages are keyed by LPN; a page is *resident* once faulted in, and a
+    store marks it dirty.  Evictions of dirty pages trigger asynchronous
+    writebacks through the CM-write path.
+    """
+
+    def __init__(self, controller: SSDController, config: Optional[PagerConfig] = None):
+        self.controller = controller
+        self.config = config or PagerConfig()
+        self.stats = PagerStats()
+        self._resident: Dict[int, np.ndarray] = {}
+        self._dirty: Dict[int, bool] = {}
+
+    # -- fault path -----------------------------------------------------------
+
+    def fault_latency(self, lpn: int) -> float:
+        """Latency model for one fault: CM-region pages read
+        ``word_bits`` wordlines; transposition overlaps with the reads."""
+        if self.controller.ftl.lookup(Region.CIPHERMATCH, lpn) is not None:
+            reads = self.controller.config.word_bits
+        else:
+            reads = 1
+        return reads * self.config.flash_read_latency_s
+
+    def access(self, lpn: int) -> np.ndarray:
+        """Load access: fault the page in if needed."""
+        if lpn in self._resident:
+            return self._resident[lpn]
+        return self._fault(lpn)
+
+    def _fault(self, lpn: int) -> np.ndarray:
+        self.stats.faults += 1
+        latency = self.fault_latency(lpn)
+        is_cm = self.controller.ftl.lookup(Region.CIPHERMATCH, lpn) is not None
+        if is_cm:
+            self.stats.cm_region_faults += 1
+        # timeout/retry protocol for long-latency CM reads
+        attempts = 0
+        while latency > self.config.fault_timeout_s:
+            self.stats.timeouts += 1
+            attempts += 1
+            if attempts > self.config.max_retries:
+                raise TimeoutError(
+                    f"page fault on lpn {lpn} exceeded "
+                    f"{self.config.max_retries} retries"
+                )
+            self.stats.retries += 1
+            # a retry waits out the timeout window and resumes
+            self.stats.simulated_fault_seconds += self.config.fault_timeout_s
+            latency -= self.config.fault_timeout_s
+        self.stats.simulated_fault_seconds += latency
+
+        if is_cm:
+            data = self.controller.cm_read(lpn)
+        else:
+            data = self.controller.conventional_read(lpn).astype(np.int64)
+        self._resident[lpn] = data
+        self._dirty[lpn] = False
+        return data
+
+    # -- store / writeback path ---------------------------------------------------
+
+    def store(self, lpn: int, data: np.ndarray) -> None:
+        """Store access: page becomes resident and dirty."""
+        self._resident[lpn] = np.asarray(data)
+        self._dirty[lpn] = True
+
+    def is_dirty(self, lpn: int) -> bool:
+        return self._dirty.get(lpn, False)
+
+    def evict(self, lpn: int) -> bool:
+        """Evict a page; dirty pages write back asynchronously through
+        the transposition unit.  Returns True when a writeback happened."""
+        if lpn not in self._resident:
+            return False
+        dirty = self._dirty.get(lpn, False)
+        data = self._resident.pop(lpn)
+        self._dirty.pop(lpn, None)
+        if not dirty:
+            return False
+        self.stats.writebacks += 1
+        # asynchronous: charged to the background ledger, not the app
+        self.stats.simulated_writeback_seconds += (
+            self.controller.transposer.latency_per_page
+        )
+        self.controller.cm_write(lpn, np.asarray(data, dtype=np.int64))
+        return True
+
+    def flush(self) -> int:
+        """Write back every dirty page (e.g. at shutdown)."""
+        dirty = [lpn for lpn, d in self._dirty.items() if d]
+        count = 0
+        for lpn in dirty:
+            if self.evict(lpn):
+                count += 1
+        return count
+
+    @property
+    def resident_pages(self) -> List[int]:
+        return sorted(self._resident)

@@ -1,0 +1,92 @@
+"""Host interface layer: the three new CIPHERMATCH commands (§4.3.2
+item 4) alongside conventional flagged I/O.
+
+``CM-read`` and ``CM-write`` are conventional I/O commands with a 1-bit
+flag that routes them through the transposition unit and the
+CIPHERMATCH mapping table; ``CM-search`` carries the encrypted query and
+triggers the ``bop_add`` µ-program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+import numpy as np
+
+from .controller import SearchOutcome, SSDController
+
+
+class HostCommandKind(Enum):
+    READ = "read"
+    WRITE = "write"
+    CM_READ = "cm-read"
+    CM_WRITE = "cm-write"
+    CM_SEARCH = "cm-search"
+
+
+@dataclass
+class HostCommand:
+    kind: HostCommandKind
+    lpn: int
+    #: the 1-bit region flag: True routes to the CIPHERMATCH region
+    cm_flag: bool = False
+    data: Optional[np.ndarray] = None
+    expected_words: Optional[np.ndarray] = None
+    match_value: Optional[int] = None
+
+
+@dataclass
+class HostResponse:
+    kind: HostCommandKind
+    lpn: int
+    data: Optional[np.ndarray] = None
+    outcome: Optional[SearchOutcome] = None
+
+
+@dataclass
+class HostInterfaceLayer:
+    """Validates and dispatches host commands to the controller."""
+
+    controller: SSDController
+    history: List[HostCommandKind] = field(default_factory=list)
+
+    def submit(self, cmd: HostCommand) -> HostResponse:
+        self.history.append(cmd.kind)
+        if cmd.kind is HostCommandKind.CM_WRITE or (
+            cmd.kind is HostCommandKind.WRITE and cmd.cm_flag
+        ):
+            if cmd.data is None:
+                raise ValueError("write command requires data")
+            self.controller.cm_write(cmd.lpn, cmd.data)
+            return HostResponse(HostCommandKind.CM_WRITE, cmd.lpn)
+
+        if cmd.kind is HostCommandKind.CM_READ or (
+            cmd.kind is HostCommandKind.READ and cmd.cm_flag
+        ):
+            words = self.controller.cm_read(cmd.lpn)
+            return HostResponse(HostCommandKind.CM_READ, cmd.lpn, data=words)
+
+        if cmd.kind is HostCommandKind.CM_SEARCH:
+            if cmd.data is None:
+                raise ValueError("CM-search requires the encrypted query words")
+            outcome = self.controller.cm_search(
+                cmd.lpn,
+                cmd.data,
+                expected_words=cmd.expected_words,
+                match_value=cmd.match_value,
+            )
+            return HostResponse(HostCommandKind.CM_SEARCH, cmd.lpn, outcome=outcome)
+
+        if cmd.kind is HostCommandKind.WRITE:
+            if cmd.data is None:
+                raise ValueError("write command requires data")
+            self.controller.conventional_write(cmd.lpn, cmd.data)
+            return HostResponse(HostCommandKind.WRITE, cmd.lpn)
+
+        if cmd.kind is HostCommandKind.READ:
+            bits = self.controller.conventional_read(cmd.lpn)
+            return HostResponse(HostCommandKind.READ, cmd.lpn, data=bits)
+
+        raise ValueError(f"unknown command kind {cmd.kind}")  # pragma: no cover

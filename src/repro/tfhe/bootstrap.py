@@ -1,0 +1,156 @@
+"""Gate bootstrapping: blind rotation, sample extraction, key switching.
+
+The pipeline (identical to the reference TFHE library):
+
+1. *Mod-switch* the input LWE sample onto the ``2N``-point circle.
+2. *Blind-rotate* a test polynomial whose coefficients all hold the
+   target message ``mu``: the accumulator ends up multiplied by
+   ``X**(-phase_bar)``, so coefficient 0 is ``+mu`` when the phase lies
+   in the positive half-circle and ``-mu`` otherwise.
+3. *Extract* coefficient 0 as an LWE sample under the extracted key.
+4. *Key-switch* back to the small gate-level LWE key.
+
+The output is a fresh encryption of ``+-mu`` whose noise is independent
+of the input's — which is what gives TFHE unlimited gate depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .lwe import LweKey, LweSample, lwe_encrypt
+from .params import TORUS_MOD, TFHEParams
+from .tgsw import TGswKey, TGswSample, cmux, tgsw_encrypt
+from .tlwe import TLweSample
+from .torus import mod_switch
+
+
+@dataclass
+class KeySwitchKey:
+    """LWE-to-LWE key switching key.
+
+    ``ks[i][j][v]`` encrypts ``v * in_key[i] / 2**((j+1) * base_bit)``
+    under the output key; switching decomposes each input mask element
+    and subtracts the matching encryptions.
+    """
+
+    params: TFHEParams
+    in_n: int
+    ks: list  # ks[i][j][v] -> LweSample
+
+    @property
+    def base(self) -> int:
+        return 1 << self.params.ks_base_bit
+
+    @property
+    def serialized_bytes(self) -> int:
+        per_sample = 4 * (self.params.lwe_n + 1)
+        return self.in_n * self.params.ks_levels * (self.base - 1) * per_sample
+
+
+def make_keyswitch_key(
+    in_key: LweKey,
+    out_key: LweKey,
+    rng: np.random.Generator,
+    params: TFHEParams,
+) -> KeySwitchKey:
+    base_bit, levels = params.ks_base_bit, params.ks_levels
+    base = 1 << base_bit
+    ks: list = []
+    for i in range(in_key.n):
+        per_level = []
+        for j in range(levels):
+            shift = 32 - (j + 1) * base_bit
+            per_value = [None]  # v = 0 never used: switching skips zeros
+            for v in range(1, base):
+                mu = (v * int(in_key.s[i]) << shift) % TORUS_MOD
+                per_value.append(lwe_encrypt(mu, out_key, rng, params.lwe_alpha))
+            per_level.append(per_value)
+        ks.append(per_level)
+    return KeySwitchKey(params, in_key.n, ks)
+
+
+def key_switch(sample: LweSample, ksk: KeySwitchKey) -> LweSample:
+    """Switch an LWE sample to the output key of ``ksk``."""
+    params = ksk.params
+    base_bit, levels = params.ks_base_bit, params.ks_levels
+    base = 1 << base_bit
+    mask = base - 1
+    # Round each mask element to the precision the decomposition keeps.
+    precision_offset = 1 << (32 - (1 + base_bit * levels))
+    out = LweSample.trivial(sample.b, params.lwe_n)
+    for i in range(sample.n):
+        ai = (int(sample.a[i]) + precision_offset) % TORUS_MOD
+        for j in range(levels):
+            digit = (ai >> (32 - (j + 1) * base_bit)) & mask
+            if digit:
+                out = out - ksk.ks[i][j][digit]
+    return out
+
+
+@dataclass
+class BootstrappingKey:
+    """TGSW encryptions of each gate-key bit, plus the key switch back."""
+
+    params: TFHEParams
+    bk: list  # list[TGswSample], one per LWE key bit
+    ksk: KeySwitchKey
+
+    @property
+    def serialized_bytes(self) -> int:
+        bk_bytes = sum(sample.serialized_bytes for sample in self.bk)
+        return bk_bytes + self.ksk.serialized_bytes
+
+
+def make_bootstrapping_key(
+    lwe_key: LweKey,
+    tgsw_key: TGswKey,
+    rng: np.random.Generator,
+) -> BootstrappingKey:
+    params = lwe_key.params
+    bk = [
+        tgsw_encrypt(int(bit), tgsw_key, rng, params.tlwe_alpha)
+        for bit in lwe_key.s
+    ]
+    extracted = tgsw_key.tlwe_key.extracted_lwe_key()
+    ksk = make_keyswitch_key(extracted, lwe_key, rng, params)
+    return BootstrappingKey(params, bk, ksk)
+
+
+def blind_rotate(
+    accumulator: TLweSample,
+    bara: np.ndarray,
+    bk: list,
+) -> TLweSample:
+    """Rotate ``accumulator`` by ``X**(sum bara_i s_i)`` where the
+    ``s_i`` are the (encrypted) LWE key bits inside ``bk``."""
+    acc = accumulator
+    for exponent, tgsw in zip(bara, bk):
+        exponent = int(exponent)
+        if exponent == 0:
+            continue
+        acc = cmux(tgsw, acc.rotate(exponent), acc)
+    return acc
+
+
+def bootstrap_to_tlwe(
+    sample: LweSample, mu: int, bsk: BootstrappingKey
+) -> TLweSample:
+    """Steps 1-2: mod-switch and blind-rotate the all-``mu`` test vector."""
+    params = bsk.params
+    n2 = 2 * params.tlwe_n
+    barb = mod_switch(sample.b, n2)
+    bara = np.array([mod_switch(int(ai), n2) for ai in sample.a], dtype=np.int64)
+    test_vector = np.full(params.tlwe_n, mu % TORUS_MOD, dtype=np.int64)
+    acc = TLweSample.trivial(test_vector, params).rotate(-barb % n2)
+    return blind_rotate(acc, bara, bsk.bk)
+
+
+def bootstrap(sample: LweSample, mu: int, bsk: BootstrappingKey) -> LweSample:
+    """Full gate bootstrap: returns a fresh sample encrypting ``+mu`` if
+    the input phase is positive, ``-mu`` otherwise, under the gate key."""
+    rotated = bootstrap_to_tlwe(sample, mu, bsk)
+    extracted = rotated.extract_lwe(0)
+    return key_switch(extracted, bsk.ksk)

@@ -1,0 +1,117 @@
+"""Wire-format serialization for TFHE LWE samples and keys.
+
+Gate-level LWE ciphertexts are what the Boolean client-server protocol
+ships (one per database/query bit), so their wire size is exactly the
+per-bit footprint the paper's §3.1 analysis charges the Boolean
+approach.  Torus elements are packed as little-endian ``uint32``.
+
+Format (all integers little-endian):
+
+    magic  b"TFH1"
+    kind   1 byte   (1 = LWE sample, 2 = LWE key, 3 = batch of samples)
+    n      4 bytes  (LWE dimension)
+    count  4 bytes  (1 for single sample / key)
+    payload:
+        kind 1: n uint32 mask + 1 uint32 body
+        kind 2: n bytes of {0,1}
+        kind 3: count * (n + 1) uint32
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+import numpy as np
+
+from .lwe import LweKey, LweSample
+from .params import TORUS_MOD, TFHEParams
+
+_MAGIC = b"TFH1"
+_KIND_SAMPLE = 1
+_KIND_KEY = 2
+_KIND_BATCH = 3
+
+_HEADER = struct.Struct("<4sBII")
+
+
+def _pack_torus(values) -> bytes:
+    return np.asarray(values, dtype=np.int64).astype("<u4").tobytes()
+
+
+def _unpack_torus(payload: bytes, count: int) -> np.ndarray:
+    if len(payload) != 4 * count:
+        raise ValueError(
+            f"payload of {len(payload)} bytes does not hold {count} torus elements"
+        )
+    return np.frombuffer(payload, dtype="<u4").astype(np.int64)
+
+
+def serialize_lwe_sample(sample: LweSample) -> bytes:
+    header = _HEADER.pack(_MAGIC, _KIND_SAMPLE, sample.n, 1)
+    return header + _pack_torus(sample.a) + _pack_torus([sample.b % TORUS_MOD])
+
+
+def deserialize_lwe_sample(data: bytes) -> LweSample:
+    n = _check_header(data, _KIND_SAMPLE)
+    values = _unpack_torus(data[_HEADER.size :], n + 1)
+    return LweSample(values[:n].copy(), int(values[n]))
+
+
+def serialize_lwe_samples(samples: List[LweSample]) -> bytes:
+    """Batch form — an encrypted bit-vector (e.g. a Boolean database)."""
+    if not samples:
+        raise ValueError("empty batch")
+    n = samples[0].n
+    if any(s.n != n for s in samples):
+        raise ValueError("mixed LWE dimensions in one batch")
+    header = _HEADER.pack(_MAGIC, _KIND_BATCH, n, len(samples))
+    body = bytearray(header)
+    for s in samples:
+        body += _pack_torus(s.a)
+        body += _pack_torus([s.b % TORUS_MOD])
+    return bytes(body)
+
+
+def deserialize_lwe_samples(data: bytes) -> List[LweSample]:
+    n, count = _check_header(data, _KIND_BATCH, with_count=True)
+    stride = 4 * (n + 1)
+    payload = data[_HEADER.size :]
+    if len(payload) != count * stride:
+        raise ValueError("batch payload size mismatch")
+    out = []
+    for i in range(count):
+        values = _unpack_torus(payload[i * stride : (i + 1) * stride], n + 1)
+        out.append(LweSample(values[:n].copy(), int(values[n])))
+    return out
+
+
+def serialize_lwe_key(key: LweKey) -> bytes:
+    header = _HEADER.pack(_MAGIC, _KIND_KEY, key.n, 1)
+    return header + np.asarray(key.s, dtype=np.uint8).tobytes()
+
+
+def deserialize_lwe_key(data: bytes, params: TFHEParams) -> LweKey:
+    n = _check_header(data, _KIND_KEY)
+    payload = data[_HEADER.size :]
+    if len(payload) != n:
+        raise ValueError("key payload size mismatch")
+    bits = np.frombuffer(payload, dtype=np.uint8).astype(np.int64)
+    if bits.max(initial=0) > 1:
+        raise ValueError("key bits must be 0/1")
+    if n != params.lwe_n:
+        raise ValueError(
+            f"serialized key dimension {n} != params.lwe_n {params.lwe_n}"
+        )
+    return LweKey(params, bits)
+
+
+def _check_header(data: bytes, expected_kind: int, *, with_count: bool = False):
+    if len(data) < _HEADER.size:
+        raise ValueError("truncated header")
+    magic, kind, n, count = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise ValueError(f"bad magic {magic!r}")
+    if kind != expected_kind:
+        raise ValueError(f"expected kind {expected_kind}, got {kind}")
+    return (n, count) if with_count else n

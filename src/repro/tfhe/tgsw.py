@@ -1,0 +1,97 @@
+"""TGSW ciphertexts, the external product and CMux.
+
+A TGSW sample encrypting a small integer ``mu`` is a matrix of
+``(k+1) * l`` TLWE samples: row ``(u, i)`` is a fresh TLWE encryption of
+zero plus ``mu * 2**(32 - (i+1)*bg_bit)`` added at block ``u`` (the
+gadget matrix ``mu * H``).  The external product
+``TGSW (x) TLWE -> TLWE`` gadget-decomposes the TLWE sample and takes
+the inner product with the TGSW rows; when ``mu`` is a bit this realizes
+an encrypted multiplexer (CMux), the primitive blind rotation is built
+from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .params import TORUS_MOD, TFHEParams
+from .polymath import gadget_decompose, negacyclic_convolve_small
+from .tlwe import TLweKey, TLweSample, tlwe_encrypt_zero
+
+
+@dataclass
+class TGswKey:
+    """TGSW key — the same ring key as TLWE."""
+
+    params: TFHEParams
+    tlwe_key: TLweKey
+
+    @staticmethod
+    def generate(params: TFHEParams, rng: np.random.Generator) -> "TGswKey":
+        return TGswKey(params, TLweKey.generate(params, rng))
+
+
+@dataclass
+class TGswSample:
+    """``(k+1) * l`` TLWE rows; ``rows[u * l + i]`` is block ``u``,
+    level ``i``."""
+
+    params: TFHEParams
+    rows: list  # list[TLweSample]
+
+    @property
+    def serialized_bytes(self) -> int:
+        per_row = 4 * (self.params.tlwe_k + 1) * self.params.tlwe_n
+        return per_row * len(self.rows)
+
+
+def tgsw_encrypt(
+    mu: int,
+    key: TGswKey,
+    rng: np.random.Generator,
+    alpha: float | None = None,
+) -> TGswSample:
+    """Encrypt a small integer ``mu`` (blind rotation uses bits)."""
+    params = key.params
+    k, levels, bg_bit = params.tlwe_k, params.bg_levels, params.bg_bit
+    rows = []
+    for u in range(k + 1):
+        for i in range(levels):
+            row = tlwe_encrypt_zero(key.tlwe_key, rng, alpha)
+            gadget = (mu << (32 - (i + 1) * bg_bit)) % TORUS_MOD
+            if u < k:
+                row.a[u][0] = (row.a[u][0] + gadget) % TORUS_MOD
+            else:
+                row.b[0] = (row.b[0] + gadget) % TORUS_MOD
+            rows.append(row)
+    return TGswSample(params, rows)
+
+
+def external_product(tgsw: TGswSample, tlwe: TLweSample) -> TLweSample:
+    """``TGSW (x) TLWE``: decompose, then inner-product with the rows.
+
+    If the TGSW encrypts ``mu`` and the TLWE encrypts ``m(X)``, the
+    result encrypts ``mu * m(X)`` with additively accumulated noise.
+    """
+    params = tgsw.params
+    k, levels, bg_bit = params.tlwe_k, params.bg_levels, params.bg_bit
+    digit_polys = []
+    for u in range(k):
+        digit_polys.extend(gadget_decompose(tlwe.a[u], bg_bit, levels))
+    digit_polys.extend(gadget_decompose(tlwe.b, bg_bit, levels))
+
+    acc_a = np.zeros((k, params.tlwe_n), dtype=np.int64)
+    acc_b = np.zeros(params.tlwe_n, dtype=np.int64)
+    for digit, row in zip(digit_polys, tgsw.rows):
+        for u in range(k):
+            acc_a[u] = (acc_a[u] + negacyclic_convolve_small(digit, row.a[u])) % TORUS_MOD
+        acc_b = (acc_b + negacyclic_convolve_small(digit, row.b)) % TORUS_MOD
+    return TLweSample(acc_a, acc_b)
+
+
+def cmux(selector: TGswSample, when_one: TLweSample, when_zero: TLweSample) -> TLweSample:
+    """Encrypted multiplexer: returns (an encryption of) ``when_one`` if
+    the TGSW-encrypted selector bit is 1, else ``when_zero``."""
+    return when_zero + external_product(selector, when_one - when_zero)

@@ -1,0 +1,127 @@
+"""Unit tests for the CIPHERMATCH data packing scheme (§4.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.packing import (
+    DataPacker,
+    derive_masking_poly,
+    pack_reference_chunks,
+)
+from repro.he import BFVContext, BFVParams, KeyGenerator
+from repro.utils.bits import random_bits
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return BFVContext(BFVParams.test_small(64), seed=5)
+
+
+@pytest.fixture(scope="module")
+def keys():
+    gen = KeyGenerator(BFVParams.test_small(64), seed=5)
+    sk = gen.secret_key()
+    return sk, gen.public_key(sk)
+
+
+@pytest.fixture(scope="module")
+def packer(ctx):
+    return DataPacker(ctx)
+
+
+class TestPack:
+    def test_chunk_values_match_reference(self, packer, rng):
+        bits = random_bits(400, rng)
+        packed = packer.pack(bits)
+        ref = pack_reference_chunks(bits, 16)
+        for i, expected in enumerate(ref):
+            assert packed.chunk(i) == int(expected)
+
+    def test_num_polynomials(self, packer, rng):
+        per_poly = packer.bits_per_polynomial
+        assert packer.pack(random_bits(per_poly, rng)).num_polynomials == 1
+        assert packer.pack(random_bits(per_poly + 1, rng)).num_polynomials == 2
+
+    def test_num_chunks(self, packer, rng):
+        packed = packer.pack(random_bits(33, rng))
+        assert packed.num_chunks == 3  # ceil(33/16)
+
+    def test_bit_length_preserved(self, packer, rng):
+        packed = packer.pack(random_bits(777, rng))
+        assert packed.bit_length == 777
+
+
+class TestEncrypt:
+    def test_encrypted_database_decrypts_to_packed(self, ctx, packer, keys, rng):
+        sk, pk = keys
+        bits = random_bits(600, rng)
+        packed = packer.pack(bits)
+        enc = packer.encrypt(packed, pk)
+        for pt, ct in zip(packed.plaintexts, enc.ciphertexts):
+            decrypted = ctx.decrypt(ct, sk)
+            assert np.array_equal(decrypted.poly.coeffs, pt.poly.coeffs)
+
+    def test_metadata_carried(self, packer, keys, rng):
+        _, pk = keys
+        bits = random_bits(100, rng)
+        enc = packer.encrypt(packer.pack(bits), pk)
+        assert enc.bit_length == 100
+        assert enc.chunk_width == 16
+        assert enc.deterministic_seed is None
+
+    def test_deterministic_encryption_reproducible(self, packer, keys, rng):
+        _, pk = keys
+        bits = random_bits(100, rng)
+        packed = packer.pack(bits)
+        enc1 = packer.encrypt(packed, pk, deterministic_seed=7)
+        enc2 = packer.encrypt(packed, pk, deterministic_seed=7)
+        for a, b in zip(enc1.ciphertexts, enc2.ciphertexts):
+            assert a == b
+
+    def test_different_seeds_differ(self, packer, keys, rng):
+        _, pk = keys
+        packed = packer.pack(random_bits(100, rng))
+        enc1 = packer.encrypt(packed, pk, deterministic_seed=7)
+        enc2 = packer.encrypt(packed, pk, deterministic_seed=8)
+        assert enc1.ciphertexts[0] != enc2.ciphertexts[0]
+
+    def test_serialized_bytes(self, ctx, packer, keys, rng):
+        _, pk = keys
+        enc = packer.encrypt(packer.pack(random_bits(10, rng)), pk)
+        assert enc.serialized_bytes == ctx.params.ciphertext_bytes
+
+
+class TestFootprint:
+    def test_expansion_factor_is_4x(self, packer):
+        # one full polynomial of data: 64 coeffs * 16 bits = 128 bytes
+        report = packer.footprint(packer.bits_per_polynomial)
+        assert report.expansion_factor == pytest.approx(4.0)
+
+    def test_small_database_quantized(self, packer):
+        # 1 byte still needs a whole ciphertext
+        report = packer.footprint(8)
+        assert report.encrypted_bytes == packer.ctx.params.ciphertext_bytes
+
+    def test_scheme_name(self, packer):
+        assert packer.footprint(100).scheme == "ciphermatch"
+
+
+class TestMaskingPolyDerivation:
+    def test_deterministic(self, ctx):
+        a = derive_masking_poly(ctx, 1, "db", 0)
+        b = derive_masking_poly(ctx, 1, "db", 0)
+        assert a == b
+
+    def test_distinct_by_index(self, ctx):
+        assert derive_masking_poly(ctx, 1, "db", 0) != derive_masking_poly(
+            ctx, 1, "db", 1
+        )
+
+    def test_distinct_by_label(self, ctx):
+        assert derive_masking_poly(ctx, 1, "db", 0) != derive_masking_poly(
+            ctx, 1, "qv", 0
+        )
+
+    def test_ternary(self, ctx):
+        u = derive_masking_poly(ctx, 3, "db", 2)
+        assert all(int(c) in (-1, 0, 1) for c in u.centered())

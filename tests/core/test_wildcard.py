@@ -1,0 +1,124 @@
+"""Unit tests for wildcard pattern matching."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClientConfig, SecureStringMatchPipeline
+from repro.core.wildcard import WildcardPattern, WildcardSearcher
+from repro.he import BFVParams
+from repro.utils.bits import bytes_to_bits, random_bits, text_to_bits
+
+PARAMS = BFVParams.test_small(64)
+
+
+class TestPatternParsing:
+    def test_from_bits(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 1]
+        mask = [1, 1, 0, 0, 1, 1, 1, 1]
+        p = WildcardPattern.from_bits(bits, mask)
+        assert p.num_segments == 2
+        assert p.segments[0].bits == (1, 0)
+        assert p.segments[0].offset_bits == 0
+        assert p.segments[1].bits == (0, 0, 1, 1)
+        assert p.segments[1].offset_bits == 4
+        assert p.total_bits == 8
+        assert p.wildcard_bits == 2
+
+    def test_trailing_segment(self):
+        p = WildcardPattern.from_bits([1, 1, 1], [0, 1, 1])
+        assert p.num_segments == 1
+        assert p.segments[0].offset_bits == 1
+
+    def test_no_literals_rejected(self):
+        with pytest.raises(ValueError):
+            WildcardPattern.from_bits([0, 0], [0, 0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            WildcardPattern.from_bits([1], [1, 0])
+
+    def test_empty_pattern(self):
+        with pytest.raises(ValueError):
+            WildcardPattern.from_bits([], [])
+
+    def test_from_text(self):
+        p = WildcardPattern.from_text("ab?d")
+        assert p.total_bits == 32
+        assert p.num_segments == 2
+        assert p.segments[0].length == 16  # "ab"
+        assert p.segments[1].offset_bits == 24  # "d" after the wild byte
+        assert p.segments[1].bit_array().tolist() == list(
+            bytes_to_bits(b"d")
+        )
+
+
+class TestWildcardSearch:
+    def _searcher(self, db_bits, seed=70):
+        pipe = SecureStringMatchPipeline(ClientConfig(PARAMS, key_seed=seed))
+        pipe.outsource_database(db_bits)
+        return WildcardSearcher(pipe)
+
+    def test_text_wildcard_byte(self, rng):
+        text = "xx hello world -- hellish words -- hellfire wow " * 2
+        db = text_to_bits(text)
+        searcher = self._searcher(db)
+        pattern = WildcardPattern.from_text("hell? w")
+        matches = searcher.search(pattern)
+        import re
+
+        expected = [
+            8 * m.start() for m in re.finditer(r"hell. w", text)
+        ]
+        assert matches == expected
+
+    def test_bit_level_gap(self, rng):
+        db = random_bits(3000, rng)
+        seg1 = random_bits(32, rng)
+        seg2 = random_bits(32, rng)
+        base = 16 * 40
+        db[base : base + 32] = seg1
+        db[base + 48 : base + 80] = seg2  # 16-bit wildcard gap
+        bits = np.concatenate([seg1, np.zeros(16, dtype=np.uint8), seg2])
+        mask = np.concatenate(
+            [np.ones(32), np.zeros(16), np.ones(32)]
+        ).astype(np.uint8)
+        pattern = WildcardPattern.from_bits(bits, mask)
+        searcher = self._searcher(db, seed=71)
+        assert base in searcher.search(pattern)
+
+    def test_segments_must_all_match(self, rng):
+        db = random_bits(2000, rng)
+        seg1 = random_bits(32, rng)
+        db[320:352] = seg1  # only the first segment present
+        seg2 = (1 - db[368:400]).astype(np.uint8)  # second segment absent there
+        bits = np.concatenate([seg1, np.zeros(16, dtype=np.uint8), seg2])
+        mask = np.concatenate(
+            [np.ones(32), np.zeros(16), np.ones(32)]
+        ).astype(np.uint8)
+        searcher = self._searcher(db, seed=72)
+        assert 320 not in searcher.search(WildcardPattern.from_bits(bits, mask))
+
+    def test_pattern_must_fit_database(self, rng):
+        db = random_bits(200, rng)
+        seg = db[160:192].copy()
+        bits = np.concatenate([seg, np.zeros(64, dtype=np.uint8)])
+        mask = np.concatenate([np.ones(32), np.zeros(64)]).astype(np.uint8)
+        # pattern spans past the database end from offset 160
+        searcher = self._searcher(db, seed=73)
+        assert 160 not in searcher.search(WildcardPattern.from_bits(bits, mask))
+
+    def test_hom_add_prediction(self, rng):
+        db = random_bits(1000, rng)
+        searcher = self._searcher(db, seed=74)
+        pattern = WildcardPattern.from_text("ab?cd")
+        predicted = searcher.hom_additions_for(pattern)
+        before = searcher.pipeline.server.hom_add_count
+        searcher.search(pattern)
+        executed = searcher.pipeline.server.hom_add_count - before
+        assert executed == predicted
+
+    def test_search_requires_database(self):
+        pipe = SecureStringMatchPipeline(ClientConfig(PARAMS, key_seed=75))
+        searcher = WildcardSearcher(pipe)
+        with pytest.raises(RuntimeError):
+            searcher.search(WildcardPattern.from_text("a?b"))

@@ -1,0 +1,131 @@
+"""Tests for the software-family cost model (Figures 2, 7, 8, 9)."""
+
+import pytest
+
+from repro.eval import GIB, QUERY_SIZES, DATABASE_SIZES
+from repro.eval.models import SoftwareCostModel, SoftwareSystem
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SoftwareCostModel()
+
+
+class TestComputeUnits:
+    def test_cm_sw_scales_with_chunks(self, model):
+        assert model.compute_units(SoftwareSystem.CM_SW, 16) == 16
+        assert model.compute_units(SoftwareSystem.CM_SW, 32) == 32
+        assert model.compute_units(SoftwareSystem.CM_SW, 17) == 32  # ceil
+
+    def test_arithmetic_superlinear(self, model):
+        a16 = model.compute_units(SoftwareSystem.ARITHMETIC, 16)
+        a256 = model.compute_units(SoftwareSystem.ARITHMETIC, 256)
+        # grows faster than linearly (the per-segment + combining terms)
+        assert a256 / a16 > 256 / 16
+
+    def test_boolean_ratio(self, model):
+        for y in QUERY_SIZES:
+            ratio = model.compute_units(
+                SoftwareSystem.BOOLEAN, y
+            ) / model.compute_units(SoftwareSystem.ARITHMETIC, y)
+            assert ratio == pytest.approx(model.cal.boolean_over_arith)
+
+
+class TestExpansionFactors:
+    def test_paper_expansions(self, model):
+        assert model.expansion(SoftwareSystem.CM_SW) == 4.0
+        assert model.expansion(SoftwareSystem.ARITHMETIC) == 64.0
+        assert model.expansion(SoftwareSystem.BOOLEAN) == 256.0
+
+
+class TestFigure7:
+    def test_cm_speedup_over_arith_grows_with_query(self, model):
+        rows = model.figure7(list(QUERY_SIZES))
+        ratios = [r["cm_sw"] / r["arithmetic"] for r in rows]
+        assert ratios == sorted(ratios)
+
+    def test_endpoints_near_paper(self, model):
+        """Paper: 20.7x at 16 bits, 62.2x at 256 bits."""
+        rows = model.figure7(list(QUERY_SIZES))
+        first = rows[0]["cm_sw"] / rows[0]["arithmetic"]
+        last = rows[-1]["cm_sw"] / rows[-1]["arithmetic"]
+        assert 15 < first < 28
+        assert 50 < last < 75
+
+    def test_arith_over_boolean_magnitude(self, model):
+        """Paper annotation: ~9.9e3."""
+        rows = model.figure7(list(QUERY_SIZES))
+        for r in rows:
+            assert 5e3 < r["arithmetic"] < 2e4
+
+    def test_average_near_42_9(self, model):
+        rows = model.figure7(list(QUERY_SIZES))
+        avg = sum(r["cm_sw"] / r["arithmetic"] for r in rows) / len(rows)
+        assert 28 < avg < 55  # paper: 42.9
+
+
+class TestFigure8:
+    def test_energy_ratios_slightly_below_time_ratios(self, model):
+        """Fig 8 energy gains < Fig 7 time gains (CM-SW draws more power
+        with busy SIMD units)."""
+        t = model.figure7(list(QUERY_SIZES))
+        e = model.figure8(list(QUERY_SIZES))
+        for rt, re in zip(t, e):
+            assert re["cm_sw"] / re["arithmetic"] < rt["cm_sw"] / rt["arithmetic"]
+
+    def test_16bit_energy_near_paper(self, model):
+        """Paper: 17.6x at 16 bits."""
+        rows = model.figure8([16])
+        ratio = rows[0]["cm_sw"] / rows[0]["arithmetic"]
+        assert 12 < ratio < 24
+
+
+class TestFigure9:
+    def test_flat_below_dram_capacity(self, model):
+        rows = model.figure9(list(DATABASE_SIZES))
+        r8 = rows[0]["cm_sw"] / rows[0]["arithmetic"]
+        r32 = rows[2]["cm_sw"] / rows[2]["arithmetic"]
+        assert r8 == pytest.approx(r32, rel=0.05)
+
+    def test_drop_beyond_dram_capacity(self, model):
+        """Paper: CM-SW loses ~1.16x once its footprint exceeds DRAM."""
+        rows = model.figure9(list(DATABASE_SIZES))
+        r32 = rows[2]["cm_sw"] / rows[2]["arithmetic"]
+        r64 = rows[3]["cm_sw"] / rows[3]["arithmetic"]
+        assert 1.05 < r32 / r64 < 1.4
+
+    def test_batched_ratio_higher_than_single_query(self, model):
+        """Fig 9 (1000 queries) shows larger CM-SW/arith ratios than
+        Fig 7 (1 query) at the same query size — the batching effect."""
+        f7 = model.figure7([16])[0]
+        f9 = model.figure9([128 * GIB])[0]
+        assert (
+            f9["cm_sw"] / f9["arithmetic"] > f7["cm_sw"] / f7["arithmetic"]
+        )
+
+    def test_cm_over_boolean_order_of_magnitude(self, model):
+        """Paper: 7.6e4 - 8.8e4 over Boolean with 1000 queries."""
+        rows = model.figure9(list(DATABASE_SIZES))
+        for r in rows:
+            assert 3e4 < r["cm_sw"] < 2e5
+
+
+class TestFigure2:
+    def test_footprint_floors_at_one_ciphertext(self, model):
+        rows = model.figure2a_footprint([8, 32])
+        assert rows[0]["arithmetic_bytes"] == 8192  # one ct
+        assert rows[0]["ciphermatch_bytes"] == 8192
+
+    def test_boolean_per_bit(self, model):
+        rows = model.figure2a_footprint([8])
+        assert rows[0]["boolean_bytes"] == 64 * 2048
+
+    def test_cm_needs_16x_fewer_cts_than_arith(self, model):
+        big = 64 * 1024  # 64 KB -> many polynomials
+        row = model.figure2a_footprint([big])[0]
+        assert row["arithmetic_bytes"] == 16 * row["ciphermatch_bytes"]
+
+    def test_breakdown_98_2(self, model):
+        b = model.figure2c_breakdown(81.9, 1.0)
+        assert b["hom_mult_percent"] == pytest.approx(98.2, abs=0.1)
+        assert b["hom_add_percent"] == pytest.approx(1.8, abs=0.1)

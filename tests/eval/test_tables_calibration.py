@@ -1,0 +1,109 @@
+"""Tests for the table formatter and calibration constants."""
+
+import pytest
+
+from repro.eval import (
+    BandwidthConfig,
+    HardwareFamilyCalibration,
+    RealSystemConfig,
+    SoftwareFamilyCalibration,
+    format_bytes,
+    format_table,
+    geometric_mean,
+    variants_for_query,
+)
+from repro.eval.tables import format_dict_rows
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table("T", ["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = out.splitlines()
+        assert lines[0] == "== T =="
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.5" in out and "3.2" in out
+
+    def test_paper_note(self):
+        out = format_table("T", ["x"], [[1]], paper_note="note here")
+        assert "paper: note here" in out
+
+    def test_empty_rows(self):
+        out = format_table("T", ["col"], [])
+        assert "col" in out
+
+    def test_dict_rows(self):
+        out = format_dict_rows("T", [{"a": 1, "b": 2.0}], ["a", "b"])
+        assert "1" in out and "2.0" in out
+
+    def test_float_format(self):
+        out = format_table("T", ["x"], [[3.14159]], float_format="{:.3f}")
+        assert "3.142" in out
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (512, "512B"),
+            (2048, "2KB"),
+            (8 * 1024**2, "8MB"),
+            (128 * 1024**3, "128GB"),
+            (1536, "1.5KB"),
+        ],
+    )
+    def test_cases(self, value, expected):
+        assert format_bytes(value) == expected
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+
+    def test_single(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestVariantsForQuery:
+    def test_paper_case(self):
+        assert variants_for_query(16) == 16
+
+    def test_scales_with_chunks(self):
+        assert variants_for_query(256) == 256
+        assert variants_for_query(48) == 48
+
+    def test_short_queries_floor(self):
+        assert variants_for_query(8) == 16
+
+
+class TestCalibrationConstants:
+    def test_real_system_matches_table2(self):
+        cfg = RealSystemConfig()
+        assert "5118" in cfg.cpu
+        assert cfg.cores == 6
+        assert cfg.dram_capacity_bytes == 32 * 1024**3
+
+    def test_bandwidths_match_table3(self):
+        bw = BandwidthConfig()
+        assert bw.flash_internal_bytes_per_s == pytest.approx(9.6e9)
+        assert bw.pcie_bytes_per_s == 7e9
+        assert bw.dram_bytes_per_s == 19.2e9
+
+    def test_hardware_c_ifp_derivation(self):
+        cal = HardwareFamilyCalibration()
+        # 32 x 29.34us over 128 planes x 32768 bitlines ~ 0.224 ns
+        assert cal.c_ifp == pytest.approx(0.224e-9, rel=0.02)
+
+    def test_engine_cost_ordering(self):
+        # per-coefficient: PuM < IFP < PuM-SSD < SW
+        cal = HardwareFamilyCalibration()
+        assert cal.c_pum < cal.c_ifp < cal.c_pum_ssd < cal.c_sw
+
+    def test_software_expansions(self):
+        cal = SoftwareFamilyCalibration()
+        assert cal.cm_expansion == 4.0
+        assert cal.arith_expansion == 64.0
+        assert cal.boolean_expansion >= 200.0

@@ -1,0 +1,47 @@
+"""Unit tests for the channel/die/plane hierarchy."""
+
+import pytest
+
+from repro.flash import FlashArray, FlashGeometry
+
+
+@pytest.fixture(scope="module")
+def array():
+    return FlashArray(FlashGeometry.functional(num_bitlines=64, wordlines=16))
+
+
+class TestHierarchy:
+    def test_plane_count(self, array):
+        g = array.geometry
+        assert len(array.planes()) == g.channels * g.dies_per_channel * g.planes_per_die
+
+    def test_planes_share_ledgers(self, array):
+        planes = array.planes()
+        assert planes[0].timing is planes[-1].timing
+        assert planes[0].energy is planes[-1].energy
+
+    def test_plane_indexing(self, array):
+        assert array.plane(0) is array.planes()[0]
+        assert array.plane(3) is array.planes()[3]
+
+    def test_channel_iteration(self, array):
+        for channel in array.channels:
+            assert len(list(channel.planes())) == (
+                array.geometry.dies_per_channel * array.geometry.planes_per_die
+            )
+
+
+class TestMakespan:
+    def test_fits_in_one_wave(self, array):
+        assert array.parallel_makespan(1e-3, array.num_planes) == pytest.approx(1e-3)
+
+    def test_two_waves(self, array):
+        assert array.parallel_makespan(1e-3, array.num_planes + 1) == pytest.approx(
+            2e-3
+        )
+
+    def test_zero_planes(self, array):
+        assert array.parallel_makespan(1e-3, 0) == 0.0
+
+    def test_single_plane(self, array):
+        assert array.parallel_makespan(5e-4, 1) == pytest.approx(5e-4)

@@ -1,0 +1,126 @@
+"""Unit tests for the NAND peripheral latch circuitry (Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.flash import NUM_D_LATCHES, PlaneLatches
+
+
+@pytest.fixture()
+def latches():
+    return PlaneLatches(num_bitlines=8)
+
+
+def bits(*values):
+    return np.array(values, dtype=np.uint8)
+
+
+class TestTransfers:
+    def test_load_into_s_latch(self, latches):
+        latches.load(bits(1, 0, 1, 0, 1, 0, 1, 0))
+        assert list(latches.s_latch) == [1, 0, 1, 0, 1, 0, 1, 0]
+
+    def test_sense_from_cells(self, latches):
+        latches.sense(bits(0, 1, 1, 0, 0, 1, 1, 0))
+        assert list(latches.s_latch) == [0, 1, 1, 0, 0, 1, 1, 0]
+
+    def test_s_to_d_copies(self, latches):
+        latches.load(bits(1, 1, 0, 0, 1, 1, 0, 0))
+        latches.s_to_d(1)
+        assert np.array_equal(latches.d_latches[1], latches.s_latch)
+
+    def test_d_to_s_reverse_path(self, latches):
+        latches.load(bits(1, 0, 0, 1, 1, 0, 0, 1))
+        latches.s_to_d(0)
+        latches.load(bits(0, 0, 0, 0, 0, 0, 0, 0))
+        latches.d_to_s(0)
+        assert list(latches.s_latch) == [1, 0, 0, 1, 1, 0, 0, 1]
+
+    def test_s_to_d_is_a_copy_not_alias(self, latches):
+        latches.load(bits(1, 1, 1, 1, 1, 1, 1, 1))
+        latches.s_to_d(2)
+        latches.load(bits(0, 0, 0, 0, 0, 0, 0, 0))
+        assert latches.d_latches[2].all()
+
+    def test_reset_d(self, latches):
+        latches.load(bits(1, 1, 1, 1, 1, 1, 1, 1))
+        latches.s_to_d(2)
+        latches.reset_d(2)
+        assert not latches.d_latches[2].any()
+
+    def test_shape_validation(self, latches):
+        with pytest.raises(ValueError):
+            latches.load(np.zeros(4, dtype=np.uint8))
+
+
+class TestBitwiseOps:
+    def test_and_sd_truth_table(self, latches):
+        latches.load(bits(0, 0, 1, 1, 0, 0, 1, 1))
+        latches.s_to_d(0)
+        latches.load(bits(0, 1, 0, 1, 0, 1, 0, 1))
+        latches.and_sd(0)
+        assert list(latches.s_latch) == [0, 0, 0, 1, 0, 0, 0, 1]
+
+    def test_or_sd_truth_table(self, latches):
+        latches.load(bits(0, 0, 1, 1, 0, 0, 1, 1))
+        latches.s_to_d(0)
+        latches.load(bits(0, 1, 0, 1, 0, 1, 0, 1))
+        latches.or_sd(0)
+        assert list(latches.d_latches[0]) == [0, 1, 1, 1, 0, 1, 1, 1]
+
+    def test_or_result_stays_in_d_latch(self, latches):
+        latches.load(bits(1, 0, 0, 0, 0, 0, 0, 0))
+        latches.s_to_d(1)
+        latches.load(bits(0, 1, 0, 0, 0, 0, 0, 0))
+        s_before = latches.s_latch.copy()
+        latches.or_sd(1)
+        assert np.array_equal(latches.s_latch, s_before)
+
+    def test_xor_dd_truth_table(self, latches):
+        latches.load(bits(0, 0, 1, 1, 0, 0, 1, 1))
+        latches.s_to_d(1)
+        latches.load(bits(0, 1, 0, 1, 0, 1, 0, 1))
+        latches.s_to_d(2)
+        latches.xor_dd(1, 2)
+        assert list(latches.d_latches[1]) == [0, 1, 1, 0, 0, 1, 1, 0]
+        # second operand unchanged
+        assert list(latches.d_latches[2]) == [0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_three_d_latches(self, latches):
+        assert len(latches.d_latches) == NUM_D_LATCHES == 3
+
+
+class TestLedgerCharging:
+    def test_each_op_charges(self):
+        latches = PlaneLatches(8)
+        latches.load(bits(0, 0, 0, 0, 0, 0, 0, 0))
+        latches.sense(bits(0, 0, 0, 0, 0, 0, 0, 0))
+        latches.s_to_d(0)
+        latches.d_to_s(0)
+        latches.and_sd(0)
+        latches.or_sd(0)
+        latches.xor_dd(0, 1)
+        counts = latches.timing.counts
+        assert counts["dma"] == 1
+        assert counts["read"] == 1
+        assert counts["latch_transfer"] == 2
+        assert counts["and_or"] == 3  # load-sense + and + or
+        assert counts["xor"] == 1
+
+    def test_time_accumulates(self):
+        latches = PlaneLatches(8)
+        latches.sense(bits(0, 0, 0, 0, 0, 0, 0, 0))
+        assert latches.timing.total_seconds == pytest.approx(
+            latches.timing.timings.t_read_slc
+        )
+
+    def test_trace_disabled_by_default(self, latches):
+        latches.sense(bits(0, 0, 0, 0, 0, 0, 0, 0))
+        assert latches.trace.ops == []
+
+    def test_trace_records_when_enabled(self, latches):
+        latches.trace.enabled = True
+        latches.sense(bits(0, 0, 0, 0, 0, 0, 0, 0))
+        latches.s_to_d(1)
+        assert latches.trace.ops == ["sense", "s_to_d(1)"]
+        assert latches.trace.counts() == {"sense": 1, "s_to_d": 1}

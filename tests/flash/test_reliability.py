@@ -1,0 +1,160 @@
+"""Unit + failure-injection tests for the flash reliability model."""
+
+import numpy as np
+import pytest
+
+from repro.flash import (
+    BitSerialAdder,
+    EspModel,
+    FaultInjector,
+    FlashArray,
+    FlashGeometry,
+    UnreliableBlock,
+    WearTracker,
+    adder_error_probability,
+)
+
+
+class TestEspModel:
+    def test_esp_is_most_reliable(self):
+        m = EspModel()
+        assert m.rber(esp=True) < m.rber(esp=False) < m.rber(esp=False, bits_per_cell=3)
+
+    def test_expected_errors(self):
+        m = EspModel(rber_esp_slc=1e-6)
+        assert m.expected_errors(reads=100, bits_per_read=1000, esp=True) == pytest.approx(0.1)
+
+    def test_tlc_mode(self):
+        m = EspModel()
+        assert m.rber(esp=True, bits_per_cell=3) == m.rber_tlc
+
+
+class TestWearTracker:
+    def test_erase_counting(self):
+        w = WearTracker()
+        w.record_erase(1)
+        w.record_erase(1)
+        w.record_erase(2)
+        assert w.cycles(1) == 2
+        assert w.cycles(2) == 1
+        assert w.max_wear() == 2
+
+    def test_lifetime_fraction(self):
+        w = WearTracker(endurance_cycles=100)
+        for _ in range(25):
+            w.record_erase(0)
+        assert w.remaining_lifetime_fraction(0) == pytest.approx(0.75)
+
+    def test_lifetime_floors_at_zero(self):
+        w = WearTracker(endurance_cycles=2)
+        for _ in range(5):
+            w.record_erase(0)
+        assert w.remaining_lifetime_fraction(0) == 0.0
+
+    def test_imbalance(self):
+        w = WearTracker()
+        w.record_erase(0)
+        w.record_erase(0)
+        w.record_erase(1)
+        # counts 2 and 1 -> max/mean = 2/1.5
+        assert w.wear_imbalance() == pytest.approx(2 / 1.5)
+
+    def test_imbalance_empty(self):
+        assert WearTracker().wear_imbalance() == 1.0
+
+    def test_searches_do_not_wear(self):
+        """The §4.3.1 reliability claim: bop_add runs in latches only."""
+        w = WearTracker()
+        for _ in range(10_000):
+            w.record_search()
+        assert w.searches_executed == 10_000
+        assert w.max_wear() == 0
+
+
+class TestFaultInjector:
+    def test_no_faults_by_default(self, rng):
+        inj = FaultInjector()
+        bits = rng.integers(0, 2, 64).astype(np.uint8)
+        assert np.array_equal(inj.corrupt_read(0, bits), bits)
+
+    def test_stuck_at_fault(self):
+        inj = FaultInjector()
+        inj.add_stuck_at(wordline=2, bitline=5, value=1)
+        bits = np.zeros(16, dtype=np.uint8)
+        out = inj.corrupt_read(2, bits)
+        assert out[5] == 1
+        assert inj.corrupt_read(3, bits)[5] == 0  # other wordlines clean
+
+    def test_random_flips_at_high_rber(self, rng):
+        inj = FaultInjector(rber=0.5, seed=1)
+        bits = np.zeros(10_000, dtype=np.uint8)
+        out = inj.corrupt_read(0, bits)
+        assert 3000 < out.sum() < 7000
+        assert inj.bits_flipped == out.sum()
+
+    def test_original_untouched(self, rng):
+        inj = FaultInjector(rber=1.0, seed=2)
+        bits = np.zeros(8, dtype=np.uint8)
+        inj.corrupt_read(0, bits)
+        assert not bits.any()
+
+
+class TestFaultyAdder:
+    """Failure injection through the full bit-serial adder."""
+
+    def _adder_with_injector(self, injector):
+        geo = FlashGeometry.functional(num_bitlines=64, wordlines=64)
+        plane = FlashArray(geo).plane(0)
+        adder = BitSerialAdder(plane, word_bits=32)
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 1 << 32, 50).astype(np.int64)
+        b = rng.integers(0, 1 << 32, 50).astype(np.int64)
+        adder.store_words(0, a)
+        plane._blocks[0] = UnreliableBlock(plane._blocks[0], injector)
+        return adder, a, b
+
+    def test_clean_injector_preserves_correctness(self):
+        adder, a, b = self._adder_with_injector(FaultInjector(rber=0.0))
+        assert np.array_equal(adder.add(0, b), (a + b) % (1 << 32))
+
+    def test_stuck_at_corrupts_only_its_bitline(self):
+        inj = FaultInjector()
+        inj.add_stuck_at(wordline=0, bitline=7, value=1)  # LSB of word 7
+        adder, a, b = self._adder_with_injector(inj)
+        got = adder.add(0, b)
+        expected = (a + b) % (1 << 32)
+        mismatches = np.nonzero(got != expected)[0]
+        # only word 7 may differ (and only if its true LSB was 0)
+        assert set(mismatches).issubset({7})
+
+    def test_high_rber_breaks_addition(self):
+        adder, a, b = self._adder_with_injector(FaultInjector(rber=0.05, seed=4))
+        got = adder.add(0, b)
+        expected = (a + b) % (1 << 32)
+        assert not np.array_equal(got, expected)
+
+    def test_esp_scale_rber_is_harmless_in_practice(self):
+        # at the ESP-scale error rate the expected flip count over this
+        # whole operation is ~3e-9 — the run must be exact
+        adder, a, b = self._adder_with_injector(
+            FaultInjector(rber=1e-12, seed=5)
+        )
+        assert np.array_equal(adder.add(0, b), (a + b) % (1 << 32))
+
+
+class TestErrorProbabilityModel:
+    def test_zero_rber(self):
+        assert adder_error_probability(32, 1000, 0.0) == 0.0
+
+    def test_monotone_in_exposure(self):
+        p1 = adder_error_probability(32, 100, 1e-9)
+        p2 = adder_error_probability(32, 10_000, 1e-9)
+        assert p2 > p1
+
+    def test_small_rber_approximation(self):
+        # P ~ word_bits * words * rber for tiny rates
+        p = adder_error_probability(32, 1000, 1e-12)
+        assert p == pytest.approx(32 * 1000 * 1e-12, rel=1e-3)
+
+    def test_saturates_at_one(self):
+        assert adder_error_probability(32, 10**9, 1e-3) == pytest.approx(1.0)

@@ -1,0 +1,168 @@
+"""Tests for the SIMD slot (batching) encoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.he.batch_encoder import BatchEncoder
+from repro.he.bfv import BFVContext
+from repro.he.keys import generate_keys
+from repro.he.params import BFVParams
+
+
+@pytest.fixture(scope="module")
+def params():
+    return BatchEncoder.batching_params(n=64, q_bits=60)
+
+
+@pytest.fixture(scope="module")
+def encoder(params):
+    return BatchEncoder(params)
+
+
+@pytest.fixture(scope="module")
+def ctx(params):
+    return BFVContext(params, seed=0)
+
+
+@pytest.fixture(scope="module")
+def keys(params, encoder):
+    sk, pk, rlk, glk = generate_keys(
+        params, seed=0, relin=True, galois_exponents=encoder.rotation_exponents()
+    )
+    return sk, pk, rlk, glk
+
+
+class TestConstruction:
+    def test_rejects_composite_t(self):
+        with pytest.raises(ValueError):
+            BatchEncoder(BFVParams(n=64, q=1 << 40, t=256))
+
+    def test_rejects_non_splitting_prime(self):
+        # 17 - 1 = 16 is not divisible by 2n = 128.
+        with pytest.raises(ValueError):
+            BatchEncoder(BFVParams(n=64, q=1 << 40, t=17))
+
+    def test_preset_bounds(self):
+        with pytest.raises(ValueError):
+            BatchEncoder.batching_params(n=256)
+
+    def test_slot_order_is_permutation(self, encoder):
+        assert sorted(encoder._slot_to_pos) == list(range(encoder.n))
+        assert np.array_equal(
+            encoder._pos_to_slot[encoder._slot_to_pos], np.arange(encoder.n)
+        )
+
+
+class TestEncodeDecode:
+    def test_round_trip_full(self, encoder, ctx):
+        values = np.arange(64) % 257
+        assert np.array_equal(encoder.decode(encoder.encode(values, ctx)), values)
+
+    def test_round_trip_partial_pads_zero(self, encoder, ctx):
+        values = np.array([5, 6, 7])
+        decoded = encoder.decode(encoder.encode(values, ctx))
+        assert list(decoded[:3]) == [5, 6, 7]
+        assert not decoded[3:].any()
+
+    def test_too_many_slots_raises(self, encoder, ctx):
+        with pytest.raises(ValueError):
+            encoder.encode(np.zeros(65), ctx)
+
+    def test_values_reduced_mod_t(self, encoder, ctx):
+        decoded = encoder.decode(encoder.encode([257 + 3], ctx))
+        assert decoded[0] == 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=256), min_size=1, max_size=64))
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_random(self, values):
+        params = BatchEncoder.batching_params(n=64, q_bits=60)
+        encoder = BatchEncoder(params)
+        ctx = BFVContext(params, seed=1)
+        decoded = encoder.decode(encoder.encode(values, ctx))
+        assert list(decoded[: len(values)]) == values
+
+
+class TestSlotSemantics:
+    def test_addition_is_slotwise(self, encoder, ctx, keys):
+        sk, pk, _, _ = keys
+        a = np.arange(64)
+        b = (np.arange(64) * 3 + 1) % 257
+        ca = ctx.encrypt(encoder.encode(a, ctx), pk)
+        cb = ctx.encrypt(encoder.encode(b, ctx), pk)
+        decoded = encoder.decode(ctx.decrypt(ctx.add(ca, cb), sk))
+        assert np.array_equal(decoded, (a + b) % 257)
+
+    def test_multiplication_is_slotwise(self, encoder, ctx, keys):
+        sk, pk, rlk, _ = keys
+        a = np.arange(64)
+        b = (np.arange(64) + 2) % 257
+        ca = ctx.encrypt(encoder.encode(a, ctx), pk)
+        cb = ctx.encrypt(encoder.encode(b, ctx), pk)
+        decoded = encoder.decode(ctx.decrypt(ctx.multiply(ca, cb, rlk), sk))
+        assert np.array_equal(decoded, (a * b) % 257)
+
+    def test_plain_multiplication_is_slotwise(self, encoder, ctx, keys):
+        sk, pk, _, _ = keys
+        a = np.arange(64)
+        b = np.full(64, 5)
+        ca = ctx.encrypt(encoder.encode(a, ctx), pk)
+        decoded = encoder.decode(
+            ctx.decrypt(ctx.multiply_plain(ca, encoder.encode(b, ctx)), sk)
+        )
+        assert np.array_equal(decoded, (a * 5) % 257)
+
+
+class TestRotations:
+    def test_row_rotation(self, encoder, ctx, keys):
+        sk, pk, _, glk = keys
+        a = np.arange(64)
+        ca = ctx.encrypt(encoder.encode(a, ctx), pk)
+        rotated = ctx.apply_galois(ca, encoder.row_rotation_exponent(1), glk)
+        decoded = encoder.decode(ctx.decrypt(rotated, sk))
+        expected = np.concatenate([np.roll(a[:32], -1), np.roll(a[32:], -1)])
+        assert np.array_equal(decoded, expected)
+
+    def test_row_rotation_multiple_steps(self, encoder, ctx, keys):
+        sk, pk, _, glk = keys
+        a = np.arange(64)
+        ca = ctx.encrypt(encoder.encode(a, ctx), pk)
+        rotated = ctx.apply_galois(ca, encoder.row_rotation_exponent(5), glk)
+        decoded = encoder.decode(ctx.decrypt(rotated, sk))
+        expected = np.concatenate([np.roll(a[:32], -5), np.roll(a[32:], -5)])
+        assert np.array_equal(decoded, expected)
+
+    def test_column_swap(self, encoder, ctx, keys):
+        sk, pk, _, glk = keys
+        a = np.arange(64)
+        ca = ctx.encrypt(encoder.encode(a, ctx), pk)
+        swapped = ctx.apply_galois(ca, encoder.column_swap_exponent(), glk)
+        decoded = encoder.decode(ctx.decrypt(swapped, sk))
+        assert np.array_equal(decoded, np.concatenate([a[32:], a[:32]]))
+
+    def test_rotation_exponent_wraps(self, encoder):
+        assert encoder.row_rotation_exponent(32) == encoder.row_rotation_exponent(0)
+
+    def test_rotation_exponents_cover_requested(self, encoder):
+        exps = encoder.rotation_exponents(3)
+        assert encoder.row_rotation_exponent(1) in exps
+        assert encoder.row_rotation_exponent(3) in exps
+        assert encoder.column_swap_exponent() in exps
+
+    def test_total_sum_via_rotations(self, encoder, ctx, keys):
+        """Classic all-slots sum: log2(n/2) rotations + column swap."""
+        sk, pk, _, glk = keys
+        a = np.arange(64)
+        acc = ctx.encrypt(encoder.encode(a, ctx), pk)
+        steps = 1
+        while steps < 32:
+            acc = ctx.add(
+                acc, ctx.apply_galois(acc, encoder.row_rotation_exponent(steps), glk)
+            )
+            steps *= 2
+        acc = ctx.add(
+            acc, ctx.apply_galois(acc, encoder.column_swap_exponent(), glk)
+        )
+        decoded = encoder.decode(ctx.decrypt(acc, sk))
+        assert decoded[0] == int(a.sum()) % 257

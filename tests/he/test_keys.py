@@ -1,0 +1,106 @@
+"""Unit tests for key generation and key-switching material."""
+
+import numpy as np
+import pytest
+
+from repro.he import BFVContext, BFVParams, KeyGenerator, generate_keys
+
+
+class TestKeyGenerator:
+    def test_secret_key_is_ternary(self, small_params):
+        sk = KeyGenerator(small_params, seed=1).secret_key()
+        assert all(int(c) in (-1, 0, 1) for c in sk.s.centered())
+
+    def test_public_key_relation(self, small_params):
+        # pk0 + pk1*s = -e (small)
+        gen = KeyGenerator(small_params, seed=2)
+        sk = gen.secret_key()
+        pk = gen.public_key(sk)
+        residual = pk.pk0 + pk.pk1 * sk.s
+        assert residual.infinity_norm() < 10 * small_params.sigma
+
+    def test_seeded_generation_reproducible(self, small_params):
+        sk1 = KeyGenerator(small_params, seed=3).secret_key()
+        sk2 = KeyGenerator(small_params, seed=3).secret_key()
+        assert sk1.s == sk2.s
+
+    def test_different_seeds_differ(self, small_params):
+        sk1 = KeyGenerator(small_params, seed=4).secret_key()
+        sk2 = KeyGenerator(small_params, seed=5).secret_key()
+        assert sk1.s != sk2.s
+
+    def test_relin_key_digit_count(self, mult_params):
+        gen = KeyGenerator(mult_params, seed=6)
+        rlk = gen.relin_key(gen.secret_key(), base_bits=16)
+        expected = (mult_params.q.bit_length() + 15) // 16
+        assert rlk.num_digits == expected
+
+    def test_relin_key_components_decrypt_to_powers_of_s_squared(self, mult_params):
+        gen = KeyGenerator(mult_params, seed=7)
+        sk = gen.secret_key()
+        rlk = gen.relin_key(sk, base_bits=16)
+        s2 = sk.s * sk.s
+        for i, (body, a) in enumerate(rlk.components):
+            power = pow(1 << 16, i, mult_params.q)
+            residual = body + a * sk.s - s2.scalar_mul(power)
+            assert residual.infinity_norm() < 10 * mult_params.sigma, f"digit {i}"
+
+    def test_galois_key_exponents(self, mult_params):
+        gen = KeyGenerator(mult_params, seed=8)
+        glk = gen.galois_key(gen.secret_key(), [3, 5])
+        assert glk.supports(3) and glk.supports(5)
+        assert not glk.supports(7)
+
+    def test_galois_key_rejects_even_exponent(self, mult_params):
+        gen = KeyGenerator(mult_params, seed=9)
+        with pytest.raises(ValueError):
+            gen.galois_key(gen.secret_key(), [2])
+
+
+class TestGaloisOperation:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        params = BFVParams.arithmetic_baseline(n=64, t=256)
+        ctx = BFVContext(params, seed=10)
+        gen = KeyGenerator(params, seed=10)
+        sk = gen.secret_key()
+        pk = gen.public_key(sk)
+        glk = gen.galois_key(sk, [3, 2 * 64 - 1])
+        return params, ctx, sk, pk, glk
+
+    def test_automorphism_matches_plaintext(self, setup):
+        params, ctx, sk, pk, glk = setup
+        m = np.arange(params.n) % params.t
+        ct = ctx.encrypt(ctx.plaintext(m), pk)
+        out = ctx.decrypt(ctx.apply_galois(ct, 3, glk), sk)
+        expected = ctx.plain_ring.make(m).automorphism(3)
+        assert np.array_equal(out.poly.coeffs, expected.coeffs)
+
+    def test_conjugation_exponent(self, setup):
+        params, ctx, sk, pk, glk = setup
+        k = 2 * params.n - 1  # the "complex conjugation" automorphism
+        m = np.arange(params.n) % params.t
+        ct = ctx.encrypt(ctx.plaintext(m), pk)
+        out = ctx.decrypt(ctx.apply_galois(ct, k, glk), sk)
+        expected = ctx.plain_ring.make(m).automorphism(k)
+        assert np.array_equal(out.poly.coeffs, expected.coeffs)
+
+    def test_missing_key_raises(self, setup):
+        _, ctx, _, pk, glk = setup
+        ct = ctx.encrypt(ctx.plaintext(np.zeros(64, dtype=np.int64)), pk)
+        with pytest.raises(ValueError):
+            ctx.apply_galois(ct, 5, glk)
+
+
+class TestGenerateKeysHelper:
+    def test_minimal(self, small_params):
+        sk, pk, rlk, glk = generate_keys(small_params, seed=1)
+        assert sk is not None and pk is not None
+        assert rlk is None and glk is None
+
+    def test_with_relin_and_galois(self, mult_params):
+        sk, pk, rlk, glk = generate_keys(
+            mult_params, seed=1, relin=True, galois_exponents=[3]
+        )
+        assert rlk is not None
+        assert glk is not None and glk.supports(3)

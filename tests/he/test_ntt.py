@@ -1,0 +1,132 @@
+"""Unit tests for the NTT engine and the exact-convolution path."""
+
+import numpy as np
+import pytest
+
+from repro.he.ntt import (
+    NttPlan,
+    _schoolbook_negacyclic,
+    exact_negacyclic_convolution,
+    get_plan,
+)
+from repro.he.primes import find_ntt_prime
+
+
+def schoolbook_mod(a, b, n, p):
+    exact = _schoolbook_negacyclic(
+        np.asarray(a).astype(object), np.asarray(b).astype(object)
+    )
+    return np.array([int(c) % p for c in exact], dtype=np.int64)
+
+
+class TestNttPlan:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        n = 16
+        p = find_ntt_prime(25, n)
+        return NttPlan(n, p)
+
+    def test_forward_inverse_roundtrip(self, plan, rng):
+        a = rng.integers(0, plan.p, plan.n, dtype=np.int64)
+        assert np.array_equal(plan.inverse(plan.forward(a)), a)
+
+    def test_forward_is_linear(self, plan, rng):
+        a = rng.integers(0, plan.p, plan.n, dtype=np.int64)
+        b = rng.integers(0, plan.p, plan.n, dtype=np.int64)
+        fa, fb = plan.forward(a), plan.forward(b)
+        fab = plan.forward((a + b) % plan.p)
+        assert np.array_equal(fab, (fa + fb) % plan.p)
+
+    @pytest.mark.parametrize("trial", range(5))
+    def test_multiply_matches_schoolbook(self, plan, trial):
+        rng = np.random.default_rng(trial)
+        a = rng.integers(0, plan.p, plan.n, dtype=np.int64)
+        b = rng.integers(0, plan.p, plan.n, dtype=np.int64)
+        assert np.array_equal(
+            plan.multiply(a, b), schoolbook_mod(a, b, plan.n, plan.p)
+        )
+
+    def test_multiply_by_one(self, plan, rng):
+        a = rng.integers(0, plan.p, plan.n, dtype=np.int64)
+        one = np.zeros(plan.n, dtype=np.int64)
+        one[0] = 1
+        assert np.array_equal(plan.multiply(a, one), a)
+
+    def test_multiply_by_x_wraps_negacyclically(self, plan):
+        # x^(n-1) * x = x^n = -1
+        a = np.zeros(plan.n, dtype=np.int64)
+        a[plan.n - 1] = 1
+        x = np.zeros(plan.n, dtype=np.int64)
+        x[1] = 1
+        result = plan.multiply(a, x)
+        expected = np.zeros(plan.n, dtype=np.int64)
+        expected[0] = plan.p - 1  # -1 mod p
+        assert np.array_equal(result, expected)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            NttPlan(12, find_ntt_prime(25, 16))
+
+    def test_rejects_unfriendly_prime(self):
+        with pytest.raises(ValueError):
+            NttPlan(16, 89)  # 89 != 1 mod 32
+
+    def test_rejects_oversized_prime(self):
+        with pytest.raises(ValueError):
+            NttPlan(16, (1 << 33) + 1)
+
+    def test_plan_cache(self):
+        n = 16
+        p = find_ntt_prime(25, n)
+        assert get_plan(n, p) is get_plan(n, p)
+
+
+class TestExactConvolution:
+    @pytest.mark.parametrize("n", [8, 32, 128])
+    def test_matches_schoolbook_unsigned(self, n):
+        rng = np.random.default_rng(n)
+        a = rng.integers(0, 1 << 32, n).astype(np.int64)
+        b = rng.integers(0, 1 << 32, n).astype(np.int64)
+        got = exact_negacyclic_convolution(a, b)
+        exp = _schoolbook_negacyclic(a.astype(object), b.astype(object))
+        assert all(int(x) == int(y) for x, y in zip(got, exp))
+
+    def test_matches_schoolbook_signed(self):
+        rng = np.random.default_rng(7)
+        n = 16
+        a = rng.integers(-(1 << 31), 1 << 31, n).astype(np.int64)
+        b = rng.integers(-(1 << 31), 1 << 31, n).astype(np.int64)
+        got = exact_negacyclic_convolution(a, b)
+        exp = _schoolbook_negacyclic(a.astype(object), b.astype(object))
+        assert all(int(x) == int(y) for x, y in zip(got, exp))
+
+    def test_result_is_exact_integer(self):
+        n = 8
+        a = np.full(n, (1 << 32) - 1, dtype=np.int64)
+        got = exact_negacyclic_convolution(a, a)
+        # peak positive coefficient: alternating sum bounded by n * max^2
+        assert all(abs(int(c)) < n * (1 << 64) for c in got)
+
+    def test_zero_operand(self):
+        n = 8
+        a = np.arange(n, dtype=np.int64)
+        z = np.zeros(n, dtype=np.int64)
+        assert all(int(c) == 0 for c in exact_negacyclic_convolution(a, z))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            exact_negacyclic_convolution(np.zeros(8), np.zeros(16))
+
+    def test_oversized_falls_back_to_schoolbook(self):
+        # magnitudes beyond the CRT bound must still be exact
+        n = 8
+        a = np.array([1 << 62] * n, dtype=object)
+        b = np.array([1 << 62] * n, dtype=object)
+        got = exact_negacyclic_convolution(a, b)
+        exp = _schoolbook_negacyclic(a, b)
+        assert all(int(x) == int(y) for x, y in zip(got, exp))
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,105 @@
+"""Unit tests for the number-theory helpers."""
+
+import pytest
+
+from repro.he.primes import (
+    find_ntt_prime,
+    find_ntt_primes,
+    is_prime,
+    mod_inverse,
+    primitive_root,
+    root_of_unity,
+)
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 7919):
+            assert is_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 6, 9, 15, 91, 7917):
+            assert not is_prime(n)
+
+    def test_negative(self):
+        assert not is_prime(-7)
+
+    def test_carmichael_numbers(self):
+        # classic Fermat pseudoprimes must be rejected
+        for n in (561, 1105, 1729, 2465, 6601):
+            assert not is_prime(n)
+
+    def test_large_prime(self):
+        assert is_prime(2**31 - 1)  # Mersenne prime
+
+    def test_large_composite(self):
+        assert not is_prime((2**31 - 1) * 3)
+
+    def test_witness_values_are_prime(self):
+        # the witnesses themselves go through the early-exit path
+        for w in (2, 3, 5, 37):
+            assert is_prime(w)
+
+
+class TestFindNttPrime:
+    @pytest.mark.parametrize("n", [64, 256, 1024, 2048])
+    def test_congruence(self, n):
+        p = find_ntt_prime(30, n)
+        assert is_prime(p)
+        assert p % (2 * n) == 1
+        assert p < 1 << 30
+
+    def test_below_cap(self):
+        p1 = find_ntt_prime(30, 64)
+        p2 = find_ntt_prime(30, 64, below=p1)
+        assert p2 < p1
+        assert is_prime(p2)
+        assert p2 % 128 == 1
+
+    def test_distinct_primes(self):
+        primes = find_ntt_primes(30, 128, 3)
+        assert len(set(primes)) == 3
+        for p in primes:
+            assert is_prime(p)
+            assert p % 256 == 1
+
+    def test_impossible_raises(self):
+        with pytest.raises(ValueError):
+            find_ntt_prime(4, 1024)  # no 4-bit prime = 1 mod 2048
+
+
+class TestRoots:
+    def test_primitive_root_order(self):
+        p = 97
+        g = primitive_root(p)
+        seen = {pow(g, k, p) for k in range(p - 1)}
+        assert len(seen) == p - 1
+
+    def test_primitive_root_requires_prime(self):
+        with pytest.raises(ValueError):
+            primitive_root(100)
+
+    @pytest.mark.parametrize("order", [2, 4, 8, 16])
+    def test_root_of_unity_order(self, order):
+        p = find_ntt_prime(20, order)  # p = 1 mod 2*order
+        w = root_of_unity(order, p)
+        assert pow(w, order, p) == 1
+        assert pow(w, order // 2, p) != 1
+
+    def test_root_of_unity_divisibility_check(self):
+        with pytest.raises(ValueError):
+            root_of_unity(7, 17)  # 7 does not divide 16
+
+
+class TestModInverse:
+    @pytest.mark.parametrize("a,m", [(3, 7), (10, 17), (12345, 2**31 - 1)])
+    def test_inverse(self, a, m):
+        inv = mod_inverse(a, m)
+        assert a * inv % m == 1
+
+    def test_non_invertible(self):
+        with pytest.raises(ValueError):
+            mod_inverse(6, 9)
+
+    def test_inverse_of_one(self):
+        assert mod_inverse(1, 97) == 1

@@ -1,0 +1,67 @@
+"""Unit tests for the Figure 3 data-movement model."""
+
+import pytest
+
+from repro.eval.calibration import GIB, TRANSFER_SIZES
+from repro.ndp import ComputeSite, TransferLatencyModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TransferLatencyModel()
+
+
+class TestOrdering:
+    @pytest.mark.parametrize("size_gib", [8, 32, 128, 256])
+    def test_storage_fastest_cpu_slowest(self, model, size_gib):
+        size = size_gib * GIB
+        storage = model.latency(size, ComputeSite.STORAGE)
+        dram = model.latency(size, ComputeSite.MAIN_MEMORY)
+        cpu = model.latency(size, ComputeSite.CPU)
+        assert storage < dram < cpu
+
+    def test_latencies_scale_with_size(self, model):
+        for site in ComputeSite:
+            assert model.latency(16 * GIB, site) > model.latency(8 * GIB, site)
+
+
+class TestPaperClaims:
+    def test_storage_reduces_over_80_percent(self, model):
+        """Key Takeaway 2: computation in the SSD controller reduces
+        transfer latency by >80% for all database sizes."""
+        for size in TRANSFER_SIZES:
+            norm = model.normalized_to_cpu(size)
+            assert norm[ComputeSite.STORAGE] < 20.0, size
+
+    def test_main_memory_benefit_shrinks_beyond_dram(self, model):
+        """Figure 3: DRAM's advantage diminishes once the database
+        exceeds the 32 GB DRAM capacity."""
+        small = model.normalized_to_cpu(8 * GIB)[ComputeSite.MAIN_MEMORY]
+        large = model.normalized_to_cpu(256 * GIB)[ComputeSite.MAIN_MEMORY]
+        assert large > small
+
+    def test_main_memory_around_75_at_8gb(self, model):
+        norm = model.normalized_to_cpu(8 * GIB)[ComputeSite.MAIN_MEMORY]
+        assert 65.0 < norm < 85.0  # paper: ~75
+
+    def test_cpu_is_reference(self, model):
+        for size in (8 * GIB, 128 * GIB):
+            assert model.normalized_to_cpu(size)[ComputeSite.CPU] == pytest.approx(
+                100.0
+            )
+
+
+class TestSweep:
+    def test_rows(self, model):
+        rows = model.sweep(list(TRANSFER_SIZES))
+        assert len(rows) == len(TRANSFER_SIZES)
+        assert rows[0]["size_gib"] == 8.0
+        assert set(rows[0]) == {"size_gib", "cpu", "main_memory", "storage"}
+
+    def test_restage_only_beyond_capacity(self, model):
+        # below DRAM capacity the main-memory path has no re-stage term
+        per_gib_small = model.main_memory_latency(8 * GIB) / 8
+        per_gib_mid = model.main_memory_latency(32 * GIB) / 32
+        assert per_gib_small == pytest.approx(per_gib_mid)
+        per_gib_large = model.main_memory_latency(64 * GIB) / 64
+        assert per_gib_large > per_gib_small

@@ -1,0 +1,151 @@
+"""Tests for the hardware performance models (Figures 10 & 12) — these
+assert the *shape* claims of the paper's evaluation."""
+
+import pytest
+
+from repro.eval.calibration import DATABASE_SIZES, GIB, QUERY_SIZES
+from repro.ndp import (
+    HardwarePerformanceModel,
+    HardwareSystem,
+    OverheadReport,
+    WorkloadPoint,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return HardwarePerformanceModel()
+
+
+class TestWorkloadPoint:
+    def test_coefficient_count(self):
+        w = WorkloadPoint(encrypted_bytes=128 * GIB, query_bits=16)
+        assert w.num_coefficients == 128 * GIB / 4
+
+    def test_variants_formula(self):
+        assert WorkloadPoint(GIB, 16).variants == 16
+        assert WorkloadPoint(GIB, 32).variants == 32
+        assert WorkloadPoint(GIB, 256).variants == 256
+        assert WorkloadPoint(GIB, 8).variants == 16  # minimum one chunk
+
+    def test_coeff_adds(self):
+        w = WorkloadPoint(4 * GIB, 16)
+        assert w.coeff_adds_per_query == w.num_coefficients * 16
+
+
+class TestFigure10Shape:
+    def test_cm_ifp_fastest_at_small_queries(self, model):
+        w = WorkloadPoint(128 * GIB, 16)
+        s = model.speedups_over_sw(w)
+        assert s[HardwareSystem.CM_IFP] > s[HardwareSystem.CM_PUM]
+        assert s[HardwareSystem.CM_IFP] > s[HardwareSystem.CM_PUM_SSD]
+
+    def test_cm_ifp_speedup_decreases_with_query_size(self, model):
+        rows = model.figure10(list(QUERY_SIZES))
+        ifp = [r["cm_ifp"] for r in rows]
+        assert ifp == sorted(ifp, reverse=True)
+
+    def test_cm_ifp_headline_range(self, model):
+        """Paper: 76.6x - 216.0x over CM-SW."""
+        rows = model.figure10(list(QUERY_SIZES))
+        for r in rows:
+            assert 60 < r["cm_ifp"] < 300
+
+    def test_cm_pum_overtakes_ifp_at_large_queries(self, model):
+        """Obs. 3: CM-PuM wins at 256-bit queries (paper: by 1.21x)."""
+        w = WorkloadPoint(128 * GIB, 256)
+        s = model.speedups_over_sw(w)
+        assert s[HardwareSystem.CM_PUM] > s[HardwareSystem.CM_IFP]
+        assert s[HardwareSystem.CM_PUM] / s[HardwareSystem.CM_IFP] < 2.0
+
+    def test_ifp_over_pum_ssd_ratio(self, model):
+        """Obs. 2: CM-IFP / CM-PuM-SSD between ~2.9x and ~4x."""
+        for y in QUERY_SIZES:
+            s = model.speedups_over_sw(WorkloadPoint(128 * GIB, y))
+            ratio = s[HardwareSystem.CM_IFP] / s[HardwareSystem.CM_PUM_SSD]
+            assert 2.5 < ratio < 4.5, y
+
+    def test_pum_beats_pum_ssd_single_query(self, model):
+        """Obs. 4: CM-PuM outperforms CM-PuM-SSD by 1.5-3.5x."""
+        for y in QUERY_SIZES:
+            s = model.speedups_over_sw(WorkloadPoint(128 * GIB, y))
+            ratio = s[HardwareSystem.CM_PUM] / s[HardwareSystem.CM_PUM_SSD]
+            assert 1.1 < ratio < 4.0, y
+
+    def test_average_ifp_speedup_near_paper(self, model):
+        """Abstract: CM-IFP improves over CM-SW by 136.9x on average."""
+        rows = model.figure10(list(QUERY_SIZES))
+        avg = sum(r["cm_ifp"] for r in rows) / len(rows)
+        assert 100 < avg < 180
+
+
+class TestFigure12Shape:
+    def test_crossover_at_dram_capacity(self, model):
+        """CM-PuM wins below 32 GB (fits DRAM), CM-IFP above."""
+        rows = {r["db_gib"]: r for r in model.figure12(list(DATABASE_SIZES))}
+        assert rows[8.0]["cm_pum"] > rows[8.0]["cm_ifp"]
+        assert rows[128.0]["cm_ifp"] > rows[128.0]["cm_pum"]
+
+    def test_ifp_advantage_grows_beyond_capacity(self, model):
+        rows = {r["db_gib"]: r for r in model.figure12(list(DATABASE_SIZES))}
+        assert rows[64.0]["cm_ifp"] > rows[32.0]["cm_ifp"]
+
+    def test_flat_below_capacity(self, model):
+        rows = {r["db_gib"]: r for r in model.figure12(list(DATABASE_SIZES))}
+        assert rows[8.0]["cm_ifp"] == pytest.approx(rows[32.0]["cm_ifp"], rel=0.01)
+
+    def test_ifp_wins_overall_average(self, model):
+        rows = model.figure12(list(DATABASE_SIZES))
+        avg_ifp = sum(r["cm_ifp"] for r in rows) / len(rows)
+        avg_pum = sum(r["cm_pum"] for r in rows) / len(rows)
+        assert avg_ifp > avg_pum
+
+
+class TestModelInternals:
+    def test_sw_rescans_beyond_dram(self, model):
+        per_query_small = model.time_cm_sw(WorkloadPoint(8 * GIB, 16, 1000)) / 1000
+        per_query_large = model.time_cm_sw(WorkloadPoint(64 * GIB, 16, 1000)) / 1000
+        # >8x per-query cost growth: scan repeats per query beyond DRAM
+        assert per_query_large > 8 * per_query_small
+
+    def test_ifp_time_linear_in_queries(self, model):
+        t1 = model.time_cm_ifp(WorkloadPoint(8 * GIB, 16, 1))
+        t10 = model.time_cm_ifp(WorkloadPoint(8 * GIB, 16, 10))
+        assert t10 == pytest.approx(10 * t1, rel=0.01)
+
+    def test_c_ifp_derived_from_flash_sim(self, model):
+        # per-coefficient in-flash cost: Eqn 9 over the bitline parallelism
+        cal = model.cal
+        expected = cal.timings.t_word_add(32) / cal.geometry.parallel_bitlines
+        assert cal.c_ifp == pytest.approx(expected)
+
+    def test_time_dispatch(self, model):
+        w = WorkloadPoint(8 * GIB, 16)
+        for system in HardwareSystem:
+            assert model.time(system, w) > 0
+
+
+class TestOverheadReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return OverheadReport()
+
+    def test_result_buffer_half_mb(self, report):
+        assert report.result_buffer_bytes() == 512 * 1024  # §6.3: 0.5 MB
+
+    def test_microprogram_under_1kb(self, report):
+        assert report.microprogram_bytes() < 1024
+
+    def test_area_overhead(self, report):
+        assert report.area_overhead_fraction() == pytest.approx(0.006)
+
+    def test_capacity_loss(self, report):
+        assert report.slc_capacity_loss_fraction(0.5) == pytest.approx(1 / 3)
+
+    def test_hw_transposition(self, report):
+        assert report.transposition_hw_latency() == pytest.approx(158e-9)
+        assert report.transposition_hw_area_mm2() == pytest.approx(0.24)
+
+    def test_aes_unit(self, report):
+        assert report.aes_latency() == pytest.approx(12.6e-9)
+        assert report.aes_area_mm2() == pytest.approx(0.13)

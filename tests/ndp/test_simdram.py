@@ -1,0 +1,92 @@
+"""Unit tests for the SIMDRAM PuM engine."""
+
+import numpy as np
+import pytest
+
+from repro.ndp import SimdramEngine, SimdramSubarray, SimdramTimings, majority3
+
+
+class TestMajority:
+    @pytest.mark.parametrize(
+        "a,b,c,expected",
+        [
+            (0, 0, 0, 0),
+            (1, 0, 0, 0),
+            (1, 1, 0, 1),
+            (1, 1, 1, 1),
+            (0, 1, 1, 1),
+        ],
+    )
+    def test_truth_table(self, a, b, c, expected):
+        arr = lambda v: np.array([v], dtype=np.uint8)
+        assert majority3(arr(a), arr(b), arr(c))[0] == expected
+
+
+class TestSubarrayAdd:
+    def test_addition_exact(self, rng):
+        sub = SimdramSubarray(num_columns=64, word_bits=32)
+        a = rng.integers(0, 1 << 32, 40).astype(np.int64)
+        b = rng.integers(0, 1 << 32, 40).astype(np.int64)
+        sub.store_operand("a", a)
+        sub.store_operand("b", b)
+        sub.add("a", "b", "out")
+        assert np.array_equal(sub.load_operand("out", 40), (a + b) % (1 << 32))
+
+    def test_matches_flash_adder_semantics(self, rng):
+        """PuM and IFP adders implement the same mod-2^32 addition."""
+        from repro.flash import BitSerialAdder, FlashArray, FlashGeometry
+
+        a = rng.integers(0, 1 << 32, 16).astype(np.int64)
+        b = rng.integers(0, 1 << 32, 16).astype(np.int64)
+
+        sub = SimdramSubarray(num_columns=32, word_bits=32)
+        sub.store_operand("a", a)
+        sub.store_operand("b", b)
+        sub.add("a", "b", "out")
+        pum = sub.load_operand("out", 16)
+
+        plane = FlashArray(FlashGeometry.functional(num_bitlines=32, wordlines=64)).plane(0)
+        adder = BitSerialAdder(plane, 32)
+        adder.store_words(0, a)
+        ifp = adder.add(0, b)
+        assert np.array_equal(pum, ifp)
+
+    def test_bulk_op_charging(self, rng):
+        sub = SimdramSubarray(num_columns=16, word_bits=8)
+        sub.store_operand("a", np.zeros(4, dtype=np.int64))
+        sub.store_operand("b", np.zeros(4, dtype=np.int64))
+        sub.add("a", "b", "out")
+        assert sub.bulk_ops == 8 * 7  # word_bits * ops_per_bit
+        assert sub.simulated_seconds == pytest.approx(56 * 49e-9)
+        assert sub.simulated_joules == pytest.approx(56 * 0.864e-9)
+
+
+class TestTimings:
+    def test_word_add_latency(self):
+        t = SimdramTimings()
+        assert t.t_word_add(32) == pytest.approx(32 * 7 * 49e-9)
+
+    def test_dram_add_faster_than_flash_add(self):
+        """Obs. 3 of Fig 10: per-op, DRAM reads beat flash reads."""
+        from repro.flash import FlashTimings
+
+        assert SimdramTimings().t_word_add(32) < FlashTimings().t_word_add(32)
+
+
+class TestEngine:
+    def test_makespan_waves(self):
+        engine = SimdramEngine(num_subarrays=2, word_bits=32)
+        one_wave = engine.parallel_words
+        t = engine.timings.t_word_add(32)
+        assert engine.makespan(one_wave) == pytest.approx(t)
+        assert engine.makespan(one_wave + 1) == pytest.approx(2 * t)
+
+    def test_concurrency_limit(self):
+        engine = SimdramEngine(num_subarrays=8, concurrent_subarrays=2)
+        assert engine.parallel_words == 2 * engine.subarrays[0].num_columns
+
+    def test_energy_amortized_per_column(self):
+        engine = SimdramEngine(num_subarrays=1)
+        cols = engine.subarrays[0].num_columns
+        per_add = engine.energy(1)
+        assert per_add == pytest.approx(engine.timings.e_word_add(32) / cols)

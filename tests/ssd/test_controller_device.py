@@ -1,0 +1,209 @@
+"""Unit + integration tests for the SSD controller, host interface and
+the assembled CM-IFP device."""
+
+import numpy as np
+import pytest
+
+from repro.flash import FlashOp
+from repro.he import BFVContext, BFVParams, KeyGenerator
+from repro.ssd import (
+    CipherMatchSSD,
+    HostCommand,
+    HostCommandKind,
+    IFPAdditionBackend,
+    SSDConfig,
+)
+
+
+@pytest.fixture()
+def ssd():
+    return CipherMatchSSD(SSDConfig.functional(num_bitlines=128, word_bits=32))
+
+
+class TestCmWriteRead:
+    def test_roundtrip(self, ssd, rng):
+        words = rng.integers(0, 1 << 32, 50).astype(np.int64)
+        ssd.controller.cm_write(0, words)
+        got = ssd.controller.cm_read(0)
+        assert np.array_equal(got[:50], words)
+
+    def test_oversized_write_rejected(self, ssd, rng):
+        too_many = rng.integers(0, 1 << 32, ssd.controller.words_per_slot + 1)
+        with pytest.raises(ValueError):
+            ssd.controller.cm_write(0, too_many.astype(np.int64))
+
+    def test_read_unmapped_raises(self, ssd):
+        with pytest.raises(KeyError):
+            ssd.controller.cm_read(123)
+
+    def test_rewrite_goes_out_of_place(self, ssd, rng):
+        w1 = rng.integers(0, 1 << 32, 10).astype(np.int64)
+        w2 = rng.integers(0, 1 << 32, 10).astype(np.int64)
+        ppa1 = ssd.controller.cm_write(5, w1)
+        ppa2 = ssd.controller.cm_write(5, w2)
+        assert ppa1 != ppa2
+        assert np.array_equal(ssd.controller.cm_read(5)[:10], w2)
+
+    def test_transposition_charged(self, ssd, rng):
+        before = ssd.controller.transposer.pages_transposed
+        ssd.controller.cm_write(0, rng.integers(0, 1 << 32, 10).astype(np.int64))
+        assert ssd.controller.transposer.pages_transposed == before + 1
+
+    def test_command_log(self, ssd, rng):
+        ssd.controller.cm_write(0, rng.integers(0, 1 << 32, 10).astype(np.int64))
+        ssd.controller.cm_read(0)
+        assert ssd.controller.log.count(FlashOp.PROGRAM_PAGE) == 1
+        assert ssd.controller.log.count(FlashOp.READ_PAGE) == 1
+
+
+class TestCmSearch:
+    def test_bop_add_result(self, ssd, rng):
+        a = rng.integers(0, 1 << 32, 30).astype(np.int64)
+        b = rng.integers(0, 1 << 32, 30).astype(np.int64)
+        ssd.controller.cm_write(0, a)
+        outcome = ssd.controller.cm_search(0, b)
+        assert np.array_equal(outcome.sums[:30], (a + b) % (1 << 32))
+        assert outcome.flags is None
+
+    def test_index_generation_by_value(self, ssd):
+        a = np.array([10, 20, 30], dtype=np.int64)
+        b = np.array([5, 0, 5], dtype=np.int64)
+        ssd.controller.cm_write(0, a)
+        outcome = ssd.controller.cm_search(0, b, match_value=35)
+        assert outcome.match_indices == [2]
+
+    def test_index_generation_by_expected(self, ssd):
+        a = np.array([1, 2], dtype=np.int64)
+        b = np.array([3, 4], dtype=np.int64)
+        ssd.controller.cm_write(0, a)
+        expected = np.array([4, 99], dtype=np.int64)  # second wrong on purpose
+        outcome = ssd.controller.cm_search(0, b, expected_words=expected)
+        assert 0 in outcome.match_indices
+        assert 1 not in outcome.match_indices
+
+    def test_search_unmapped_raises(self, ssd, rng):
+        with pytest.raises(KeyError):
+            ssd.controller.cm_search(7, rng.integers(0, 2, 4).astype(np.int64))
+
+    def test_index_gen_charged(self, ssd):
+        ssd.controller.cm_write(0, np.array([1], dtype=np.int64))
+        before = ssd.controller.index_gen.pages_processed
+        ssd.controller.cm_search(0, np.array([1], dtype=np.int64), match_value=2)
+        assert ssd.controller.index_gen.pages_processed == before + 1
+
+
+class TestConventionalRegion:
+    def test_write_read(self, ssd, rng):
+        bits = rng.integers(0, 2, ssd.flash.geometry.bitlines_per_plane).astype(
+            np.uint8
+        )
+        ssd.controller.conventional_write(0, bits)
+        assert np.array_equal(ssd.controller.conventional_read(0), bits)
+
+    def test_regions_do_not_collide(self, ssd, rng):
+        words = rng.integers(0, 1 << 32, 10).astype(np.int64)
+        bits = rng.integers(0, 2, ssd.flash.geometry.bitlines_per_plane).astype(
+            np.uint8
+        )
+        ssd.controller.cm_write(0, words)
+        ssd.controller.conventional_write(0, bits)
+        assert np.array_equal(ssd.controller.cm_read(0)[:10], words)
+        assert np.array_equal(ssd.controller.conventional_read(0), bits)
+
+
+class TestHostInterface:
+    def test_cm_write_read_commands(self, ssd, rng):
+        words = rng.integers(0, 1 << 32, 20).astype(np.int64)
+        ssd.host.submit(HostCommand(HostCommandKind.CM_WRITE, lpn=3, data=words))
+        resp = ssd.host.submit(HostCommand(HostCommandKind.CM_READ, lpn=3))
+        assert np.array_equal(resp.data[:20], words)
+
+    def test_flagged_conventional_commands_route_to_cm(self, ssd, rng):
+        words = rng.integers(0, 1 << 32, 20).astype(np.int64)
+        ssd.host.submit(
+            HostCommand(HostCommandKind.WRITE, lpn=4, cm_flag=True, data=words)
+        )
+        resp = ssd.host.submit(
+            HostCommand(HostCommandKind.READ, lpn=4, cm_flag=True)
+        )
+        assert np.array_equal(resp.data[:20], words)
+
+    def test_cm_search_command(self, ssd):
+        a = np.array([7], dtype=np.int64)
+        ssd.host.submit(HostCommand(HostCommandKind.CM_WRITE, lpn=5, data=a))
+        resp = ssd.host.submit(
+            HostCommand(
+                HostCommandKind.CM_SEARCH,
+                lpn=5,
+                data=np.array([3], dtype=np.int64),
+                match_value=10,
+            )
+        )
+        assert resp.outcome.match_indices == [0]
+
+    def test_write_requires_data(self, ssd):
+        with pytest.raises(ValueError):
+            ssd.host.submit(HostCommand(HostCommandKind.CM_WRITE, lpn=0))
+
+    def test_history(self, ssd, rng):
+        ssd.host.submit(
+            HostCommand(
+                HostCommandKind.CM_WRITE,
+                lpn=0,
+                data=rng.integers(0, 2, 4).astype(np.int64),
+            )
+        )
+        assert ssd.host.history == [HostCommandKind.CM_WRITE]
+
+
+class TestIFPAdditionBackend:
+    @pytest.fixture()
+    def backend_setup(self):
+        params = BFVParams.test_small(64)
+        ctx = BFVContext(params, seed=44)
+        gen = KeyGenerator(params, seed=44)
+        sk = gen.secret_key()
+        pk = gen.public_key(sk)
+        return ctx, sk, pk, IFPAdditionBackend(ctx)
+
+    def test_hom_add_matches_cpu(self, backend_setup, rng):
+        ctx, sk, pk, backend = backend_setup
+        m1 = rng.integers(0, ctx.params.t, ctx.params.n, dtype=np.int64)
+        m2 = rng.integers(0, ctx.params.t, ctx.params.n, dtype=np.int64)
+        ct1 = ctx.encrypt(ctx.plaintext(m1), pk)
+        ct2 = ctx.encrypt(ctx.plaintext(m2), pk)
+        flash_sum = backend.hom_add(ct1, ct2)
+        cpu_sum = ctx.add(ct1, ct2)
+        assert flash_sum.c0 == cpu_sum.c0
+        assert flash_sum.c1 == cpu_sum.c1
+        assert np.array_equal(
+            ctx.decrypt(flash_sum, sk).poly.coeffs, (m1 + m2) % ctx.params.t
+        )
+
+    def test_database_ciphertext_cached_in_flash(self, backend_setup, rng):
+        ctx, _, pk, backend = backend_setup
+        m = rng.integers(0, ctx.params.t, ctx.params.n, dtype=np.int64)
+        stored = ctx.encrypt(ctx.plaintext(m), pk)
+        q1 = ctx.encrypt(ctx.plaintext(m), pk)
+        q2 = ctx.encrypt(ctx.plaintext(m), pk)
+        backend.hom_add(stored, q1)
+        writes_after_first = backend.ssd.controller.log.count(FlashOp.PROGRAM_PAGE)
+        backend.hom_add(stored, q2)
+        assert (
+            backend.ssd.controller.log.count(FlashOp.PROGRAM_PAGE)
+            == writes_after_first
+        )
+
+    def test_rejects_non_power_of_two_modulus(self):
+        params = BFVParams.arithmetic_baseline(n=64, t=256)
+        ctx = BFVContext(params, seed=1)
+        with pytest.raises(ValueError):
+            IFPAdditionBackend(ctx)
+
+    def test_simulated_time_accrues(self, backend_setup, rng):
+        ctx, _, pk, backend = backend_setup
+        m = rng.integers(0, ctx.params.t, ctx.params.n, dtype=np.int64)
+        ct = ctx.encrypt(ctx.plaintext(m), pk)
+        before = backend.ssd.simulated_seconds
+        backend.hom_add(ct, ct)
+        assert backend.ssd.simulated_seconds > before

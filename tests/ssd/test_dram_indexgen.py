@@ -1,0 +1,82 @@
+"""Unit tests for the internal DRAM model and the index-generation unit."""
+
+import numpy as np
+import pytest
+
+from repro.ssd import IndexGenerationUnit, InternalDram
+
+
+class TestInternalDram:
+    def test_allocate_and_read(self):
+        dram = InternalDram(capacity_bytes=1024)
+        arr = np.zeros(64, dtype=np.uint8)
+        dram.allocate("buf", arr)
+        assert dram.contains("buf")
+        assert dram.read("buf") is arr
+        assert dram.used_bytes == 64
+
+    def test_capacity_enforced(self):
+        dram = InternalDram(capacity_bytes=100)
+        with pytest.raises(MemoryError):
+            dram.allocate("big", np.zeros(200, dtype=np.uint8))
+
+    def test_replace_frees_old(self):
+        dram = InternalDram(capacity_bytes=100)
+        dram.allocate("x", np.zeros(80, dtype=np.uint8))
+        dram.allocate("x", np.zeros(60, dtype=np.uint8))  # replacement fits
+        assert dram.used_bytes == 60
+
+    def test_free(self):
+        dram = InternalDram(capacity_bytes=100)
+        dram.allocate("x", np.zeros(50, dtype=np.uint8))
+        dram.free("x")
+        assert dram.used_bytes == 0
+        assert not dram.contains("x")
+
+    def test_free_missing_is_noop(self):
+        InternalDram().free("nothing")
+
+    def test_transfer_time(self):
+        dram = InternalDram(bandwidth_bytes_per_s=1e9)
+        assert dram.transfer_time(1e9) == pytest.approx(1.0)
+
+    def test_default_capacity_2gb(self):
+        assert InternalDram().capacity_bytes == 2 * 1024**3
+
+
+class TestIndexGenerationUnit:
+    def test_flag_equal(self):
+        unit = IndexGenerationUnit()
+        flags = unit.flag_equal(np.array([1, 2, 3]), np.array([1, 9, 3]))
+        assert list(flags) == [True, False, True]
+
+    def test_flag_equal_shape_check(self):
+        unit = IndexGenerationUnit()
+        with pytest.raises(ValueError):
+            unit.flag_equal(np.zeros(3), np.zeros(4))
+
+    def test_flag_value(self):
+        unit = IndexGenerationUnit()
+        flags = unit.flag_value(np.array([7, 0, 7]), 7)
+        assert list(flags) == [True, False, True]
+
+    def test_indices_from_flags(self):
+        unit = IndexGenerationUnit()
+        assert unit.indices_from_flags(np.array([False, True, True])) == [1, 2]
+
+    def test_cost_accounting(self):
+        unit = IndexGenerationUnit()
+        unit.flag_value(np.zeros(4), 1)
+        unit.flag_value(np.zeros(4), 1)
+        assert unit.pages_processed == 2
+        assert unit.busy_seconds == pytest.approx(2 * 3.42e-6)
+        assert unit.energy_joules == pytest.approx(2 * 0.18e-6)
+
+    def test_latency_hidden_under_flash_read(self):
+        # 3.42us < 22.5us (the paper's overlap argument)
+        assert IndexGenerationUnit().costs.hidden_under_read
+
+    def test_result_buffer_matches_paper(self):
+        # 4KB x 8 channels x 8 dies x 2 planes = 0.5 MB (§6.3)
+        unit = IndexGenerationUnit()
+        assert unit.result_buffer_bytes(8, 8, 2, 4096) == 512 * 1024

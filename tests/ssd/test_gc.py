@@ -1,0 +1,119 @@
+"""Unit tests for garbage collection and wear leveling."""
+
+import pytest
+
+from repro.flash import WearTracker
+from repro.ssd import GarbageCollector, SlotState
+
+
+@pytest.fixture()
+def gc():
+    return GarbageCollector(slots_per_block=4, gc_threshold_free_fraction=0.25)
+
+
+class TestBookkeeping:
+    def test_write_marks_valid(self, gc):
+        gc.note_write((0, 0), 0, lpn=10)
+        counts = gc.counts((0, 0))
+        assert counts[SlotState.VALID] == 1
+        assert counts[SlotState.FREE] == 3
+
+    def test_double_write_requires_invalidate(self, gc):
+        gc.note_write((0, 0), 0, lpn=10)
+        with pytest.raises(RuntimeError):
+            gc.note_write((0, 0), 0, lpn=11)
+        gc.note_invalidate((0, 0), 0)
+        gc.note_write((0, 0), 0, lpn=11)
+
+    def test_free_fraction(self, gc):
+        gc.register_block((0, 0))
+        gc.register_block((0, 1))
+        gc.note_write((0, 0), 0, lpn=1)
+        gc.note_write((0, 0), 1, lpn=2)
+        assert gc.free_fraction() == pytest.approx(6 / 8)
+
+
+class TestVictimSelection:
+    def test_prefers_most_invalid(self, gc):
+        gc.note_write((0, 0), 0, lpn=1)
+        gc.note_invalidate((0, 0), 0)
+        gc.note_write((0, 1), 0, lpn=2)
+        gc.note_invalidate((0, 1), 0)
+        gc.note_write((0, 1), 1, lpn=3)
+        gc.note_invalidate((0, 1), 1)
+        assert gc.select_victim() == (0, 1)
+
+    def test_no_victim_without_invalid_slots(self, gc):
+        gc.note_write((0, 0), 0, lpn=1)
+        assert gc.select_victim() is None
+
+    def test_wear_tiebreak(self):
+        wear = WearTracker()
+        gc = GarbageCollector(slots_per_block=2, wear=wear)
+        for block in ((0, 0), (0, 1)):
+            gc.note_write(block, 0, lpn=hash(block) % 100)
+            gc.note_invalidate(block, 0)
+        # pre-wear block (0, 0): victim should be the fresher (0, 1)
+        wear.record_erase(hash((0, 0)))
+        assert gc.select_victim() == (0, 1)
+
+
+class TestCollection:
+    def test_collect_returns_migration_plan(self, gc):
+        gc.note_write((0, 0), 0, lpn=1)
+        gc.note_write((0, 0), 1, lpn=2)
+        gc.note_invalidate((0, 0), 0)
+        migrations = gc.collect((0, 0))
+        assert migrations == [(2, 1)]  # only the valid slot migrates
+        counts = gc.counts((0, 0))
+        assert counts[SlotState.FREE] == 4
+
+    def test_collect_records_erase(self, gc):
+        gc.note_write((0, 0), 0, lpn=1)
+        gc.note_invalidate((0, 0), 0)
+        gc.collect((0, 0))
+        assert gc.wear.cycles(hash((0, 0))) == 1
+        assert gc.stats.blocks_erased == 1
+        assert gc.stats.collections == 1
+
+    def test_run_if_needed_idle_when_space(self, gc):
+        gc.register_block((0, 0))
+        assert gc.run_if_needed() == []
+        assert gc.stats.collections == 0
+
+    def test_run_if_needed_triggers_below_threshold(self, gc):
+        # fill 4 of 4 slots, invalidate two -> free fraction 0 < 0.25
+        for i in range(4):
+            gc.note_write((0, 0), i, lpn=i)
+        gc.note_invalidate((0, 0), 0)
+        gc.note_invalidate((0, 0), 1)
+        migrations = gc.run_if_needed()
+        assert sorted(m[0] for m in migrations) == [2, 3]
+        assert gc.stats.slots_migrated == 2
+
+    def test_wear_stays_levelled_over_many_cycles(self):
+        """Greedy-with-wear-tiebreak keeps erase counts within ~2x."""
+        gc = GarbageCollector(slots_per_block=2, gc_threshold_free_fraction=0.9)
+        blocks = [(0, b) for b in range(8)]
+        for block in blocks:
+            gc.register_block(block)
+        lpn = 0
+        import random
+
+        rnd = random.Random(1)
+        for _ in range(300):
+            block = rnd.choice(blocks)
+            slot = rnd.randrange(2)
+            state = gc._slots[block][slot].state
+            if state is SlotState.VALID:
+                gc.note_invalidate(block, slot)
+            if gc._slots[block][slot].state is SlotState.FREE or state is SlotState.VALID:
+                try:
+                    gc.note_write(block, slot, lpn)
+                except RuntimeError:
+                    continue
+                lpn += 1
+            victim = gc.select_victim()
+            if victim is not None and gc.needs_collection():
+                gc.collect(victim)
+        assert gc.wear.wear_imbalance() < 2.5

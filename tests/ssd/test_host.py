@@ -1,0 +1,103 @@
+"""Unit tests for the host pager (§4.3.2 page-fault / writeback flow)."""
+
+import numpy as np
+import pytest
+
+from repro.ssd import CipherMatchSSD, SSDConfig
+from repro.ssd.host import HostPager, PagerConfig
+
+
+@pytest.fixture()
+def setup(rng):
+    ssd = CipherMatchSSD(SSDConfig.functional(num_bitlines=128, word_bits=32))
+    pager = HostPager(ssd.controller)
+    words = rng.integers(0, 1 << 32, 40).astype(np.int64)
+    ssd.controller.cm_write(0, words)
+    return ssd, pager, words
+
+
+class TestFaultPath:
+    def test_fault_loads_cm_page(self, setup):
+        _, pager, words = setup
+        data = pager.access(0)
+        assert np.array_equal(data[:40], words)
+        assert pager.stats.faults == 1
+        assert pager.stats.cm_region_faults == 1
+
+    def test_resident_page_no_refault(self, setup):
+        _, pager, _ = setup
+        pager.access(0)
+        pager.access(0)
+        assert pager.stats.faults == 1
+
+    def test_cm_fault_latency_is_wordbits_reads(self, setup):
+        _, pager, _ = setup
+        assert pager.fault_latency(0) == pytest.approx(32 * 22.5e-6)
+
+    def test_fault_time_charged(self, setup):
+        _, pager, _ = setup
+        pager.access(0)
+        assert pager.stats.simulated_fault_seconds == pytest.approx(32 * 22.5e-6)
+
+    def test_timeout_retry_protocol(self, setup):
+        ssd, _, _ = setup
+        # timeout shorter than the fault latency forces retries
+        pager = HostPager(
+            ssd.controller,
+            PagerConfig(fault_timeout_s=300e-6, max_retries=5),
+        )
+        pager.access(0)
+        # 720us fault with 300us windows -> 2 retries
+        assert pager.stats.retries == 2
+        assert pager.stats.timeouts == 2
+
+    def test_retry_exhaustion_raises(self, setup):
+        ssd, _, _ = setup
+        pager = HostPager(
+            ssd.controller, PagerConfig(fault_timeout_s=50e-6, max_retries=2)
+        )
+        with pytest.raises(TimeoutError):
+            pager.access(0)
+
+
+class TestWritebackPath:
+    def test_store_marks_dirty(self, setup):
+        _, pager, words = setup
+        pager.store(0, words)
+        assert pager.is_dirty(0)
+
+    def test_evict_clean_page_no_writeback(self, setup):
+        _, pager, _ = setup
+        pager.access(0)
+        assert pager.evict(0) is False
+        assert pager.stats.writebacks == 0
+
+    def test_evict_dirty_page_writes_back(self, setup, rng):
+        _, pager, _ = setup
+        new_words = rng.integers(0, 1 << 32, 40).astype(np.int64)
+        pager.store(0, new_words)
+        assert pager.evict(0) is True
+        assert pager.stats.writebacks == 1
+        # the SSD now holds the new data (out-of-place rewrite)
+        refetched = pager.access(0)
+        assert np.array_equal(refetched[:40], new_words)
+
+    def test_flush_writes_all_dirty(self, setup, rng):
+        ssd, pager, _ = setup
+        ssd.controller.cm_write(1, rng.integers(0, 1 << 32, 10).astype(np.int64))
+        pager.store(0, rng.integers(0, 1 << 32, 40).astype(np.int64))
+        pager.store(1, rng.integers(0, 1 << 32, 10).astype(np.int64))
+        assert pager.flush() == 2
+        assert pager.resident_pages == []
+
+    def test_evict_unknown_page(self, setup):
+        _, pager, _ = setup
+        assert pager.evict(99) is False
+
+    def test_writeback_is_async_cost(self, setup, rng):
+        _, pager, _ = setup
+        pager.store(0, rng.integers(0, 1 << 32, 40).astype(np.int64))
+        pager.evict(0)
+        # writeback cost charged to the background ledger only
+        assert pager.stats.simulated_writeback_seconds > 0
+        assert pager.stats.simulated_fault_seconds == 0

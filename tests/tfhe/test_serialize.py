@@ -1,0 +1,108 @@
+"""Tests for TFHE wire-format serialization."""
+
+import numpy as np
+import pytest
+
+from repro.tfhe import TFHEContext, TFHEParams
+from repro.tfhe.lwe import LweKey, LweSample, lwe_phase
+from repro.tfhe.serialize import (
+    deserialize_lwe_key,
+    deserialize_lwe_sample,
+    deserialize_lwe_samples,
+    serialize_lwe_key,
+    serialize_lwe_sample,
+    serialize_lwe_samples,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return TFHEContext(TFHEParams.test_small(), seed=21)
+
+
+class TestSample:
+    def test_round_trip(self, ctx):
+        ct = ctx.encrypt(1)
+        restored = deserialize_lwe_sample(serialize_lwe_sample(ct))
+        assert np.array_equal(restored.a, ct.a)
+        assert restored.b == ct.b
+        assert ctx.decrypt(restored) == 1
+
+    def test_round_trip_preserves_phase(self, ctx):
+        ct = ctx.encrypt(0)
+        restored = deserialize_lwe_sample(serialize_lwe_sample(ct))
+        assert lwe_phase(restored, ctx.lwe_key) == lwe_phase(ct, ctx.lwe_key)
+
+    def test_wire_size_matches_footprint_accounting(self, ctx):
+        ct = ctx.encrypt(1)
+        wire = serialize_lwe_sample(ct)
+        header = 13  # 4 magic + 1 kind + 4 n + 4 count
+        assert len(wire) == header + ct.serialized_bytes
+
+    def test_bad_magic_rejected(self, ctx):
+        wire = bytearray(serialize_lwe_sample(ctx.encrypt(0)))
+        wire[0] = ord("X")
+        with pytest.raises(ValueError, match="magic"):
+            deserialize_lwe_sample(bytes(wire))
+
+    def test_truncated_rejected(self, ctx):
+        wire = serialize_lwe_sample(ctx.encrypt(0))
+        with pytest.raises(ValueError):
+            deserialize_lwe_sample(wire[:-4])
+
+    def test_kind_mismatch_rejected(self, ctx):
+        wire = serialize_lwe_key(ctx.lwe_key)
+        with pytest.raises(ValueError, match="kind"):
+            deserialize_lwe_sample(wire)
+
+
+class TestBatch:
+    def test_round_trip(self, ctx):
+        bits = [1, 0, 1, 1, 0]
+        cts = ctx.encrypt_bits(bits)
+        restored = deserialize_lwe_samples(serialize_lwe_samples(cts))
+        assert list(ctx.decrypt_bits(restored)) == bits
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            serialize_lwe_samples([])
+
+    def test_mixed_dimensions_rejected(self, ctx):
+        a = ctx.encrypt(0)
+        b = LweSample(np.zeros(3, dtype=np.int64), 0)
+        with pytest.raises(ValueError, match="mixed"):
+            serialize_lwe_samples([a, b])
+
+    def test_batch_wire_size_is_per_bit_footprint(self, ctx):
+        """The serialized batch is exactly bits x per-bit LWE bytes —
+        the §3.1 Boolean blow-up, on the wire."""
+        cts = ctx.encrypt_bits([1] * 8)
+        wire = serialize_lwe_samples(cts)
+        assert len(wire) == 13 + 8 * ctx.params.lwe_ciphertext_bytes
+
+
+class TestKey:
+    def test_round_trip(self, ctx):
+        wire = serialize_lwe_key(ctx.lwe_key)
+        restored = deserialize_lwe_key(wire, ctx.params)
+        assert np.array_equal(restored.s, ctx.lwe_key.s)
+
+    def test_restored_key_decrypts(self, ctx):
+        ct = ctx.encrypt(1)
+        restored = deserialize_lwe_key(serialize_lwe_key(ctx.lwe_key), ctx.params)
+        from repro.tfhe.lwe import lwe_decrypt_bit
+
+        assert lwe_decrypt_bit(ct, restored) == 1
+
+    def test_dimension_mismatch_rejected(self, ctx):
+        wire = serialize_lwe_key(ctx.lwe_key)
+        with pytest.raises(ValueError, match="dimension"):
+            deserialize_lwe_key(wire, TFHEParams.test_tiny())
+
+    def test_corrupt_bits_rejected(self):
+        params = TFHEParams.test_tiny()
+        key = LweKey(params, np.array([0, 1, 1, 0], dtype=np.int64))
+        wire = bytearray(serialize_lwe_key(key))
+        wire[-1] = 7
+        with pytest.raises(ValueError, match="0/1"):
+            deserialize_lwe_key(bytes(wire), params)

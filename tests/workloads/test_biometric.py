@@ -1,0 +1,100 @@
+"""Tests for the secure biometric matching case study."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClientConfig
+from repro.he import BFVParams
+from repro.workloads.biometric import (
+    BiometricWorkloadGenerator,
+    SecureBiometricMatcher,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    gen = BiometricWorkloadGenerator(seed=7)
+    gallery = gen.generate(num_subjects=5, template_bits=64)
+    matcher = SecureBiometricMatcher(
+        gallery, ClientConfig(BFVParams.test_small(64))
+    )
+    return gen, gallery, matcher
+
+
+class TestGenerator:
+    def test_gallery_shape(self, setup):
+        _, gallery, _ = setup
+        assert gallery.size == 5
+        assert gallery.template_bits == 64
+        assert len(gallery.concatenated_bits()) == 5 * 64
+
+    def test_unique_subject_ids(self, setup):
+        _, gallery, _ = setup
+        ids = [e.subject_id for e in gallery.enrollees]
+        assert len(set(ids)) == len(ids)
+
+    def test_template_width_must_be_chunk_multiple(self):
+        with pytest.raises(ValueError, match="multiple of 16"):
+            BiometricWorkloadGenerator().generate(2, template_bits=40)
+
+    def test_subject_at_offset(self, setup):
+        _, gallery, _ = setup
+        assert gallery.subject_at_offset(0) == "subject-0000"
+        assert gallery.subject_at_offset(128) == "subject-0002"
+        assert gallery.subject_at_offset(65) is None  # unaligned
+        assert gallery.subject_at_offset(64 * 99) is None  # out of range
+
+    def test_noisy_probe_flips_bits(self, setup):
+        gen, gallery, _ = setup
+        template = gallery.enrollees[0].template
+        probe = gen.noisy_probe(template, flip_fraction=0.1)
+        flipped = int(np.count_nonzero(probe != template))
+        assert flipped == int(64 * 0.1)
+
+    def test_noisy_probe_flips_at_least_one(self, setup):
+        gen, gallery, _ = setup
+        probe = gen.noisy_probe(gallery.enrollees[0].template, flip_fraction=0.0)
+        assert np.count_nonzero(probe != gallery.enrollees[0].template) == 1
+
+
+class TestAuthentication:
+    def test_every_enrollee_authenticates(self, setup):
+        _, gallery, matcher = setup
+        for enrollee in gallery.enrollees:
+            result = matcher.authenticate(enrollee.template)
+            assert result.accepted
+            assert result.subject_id == enrollee.subject_id
+
+    def test_unenrolled_probe_rejected(self, setup):
+        _, _, matcher = setup
+        rng = np.random.default_rng(999)
+        stranger = rng.integers(0, 2, 64).astype(np.uint8)
+        result = matcher.authenticate(stranger)
+        assert not result.accepted
+        assert result.subject_id is None
+
+    def test_noisy_probe_rejected_by_exact_matcher(self, setup):
+        """Exact matching (the paper's setting) rejects degraded
+        captures — the documented boundary with approximate matching."""
+        gen, gallery, matcher = setup
+        probe = gen.noisy_probe(gallery.enrollees[1].template, 0.05)
+        assert not matcher.authenticate(probe).accepted
+
+    def test_wrong_probe_width_rejected(self, setup):
+        _, _, matcher = setup
+        with pytest.raises(ValueError, match="64-bit"):
+            matcher.authenticate(np.zeros(32, dtype=np.uint8))
+
+    def test_hom_additions_counted(self, setup):
+        _, gallery, matcher = setup
+        result = matcher.authenticate(gallery.enrollees[0].template)
+        assert result.hom_additions > 0
+
+    def test_acceptance_requires_template_alignment(self, setup):
+        """A probe equal to an interior window (straddling two
+        templates) must not authenticate anyone."""
+        _, gallery, matcher = setup
+        bits = gallery.concatenated_bits()
+        straddling = bits[32:96].copy()  # second half of t0 + first of t1
+        result = matcher.authenticate(straddling)
+        assert not result.accepted
