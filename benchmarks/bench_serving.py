@@ -1,0 +1,80 @@
+"""Serving-engine scaling: batch throughput vs shard count (1 -> 8).
+
+Wall-clock throughput is reported for reference but is GIL-bound on the
+functional simulator; the scaling claim is the discrete-event queueing
+model of the same executed task trace (each shard a CM-IFP channel/die
+group), which is the deployment the serving layer targets.
+"""
+
+import numpy as np
+from _util import emit
+
+from repro.core import ClientConfig
+from repro.eval.tables import format_table
+from repro.he import BFVParams
+from repro.serve import ShardedSearchEngine
+from repro.utils.bits import random_bits
+
+SHARD_COUNTS = (1, 2, 4, 8)
+NUM_POLYS = 16
+NUM_QUERIES = 12
+
+
+def _workload():
+    rng = np.random.default_rng(9)
+    params = BFVParams.test_small(64)
+    bits_per_poly = params.n * 16
+    db = random_bits(NUM_POLYS * bits_per_poly, rng)
+    queries = []
+    for k in range(NUM_QUERIES):
+        q = random_bits(32, rng)
+        off = 16 * (11 + 61 * k)
+        db[off : off + 32] = q
+        queries.append(q)
+    return params, db, queries
+
+
+def test_emit_serving_scaling(benchmark):
+    params, db, queries = _workload()
+    rows = []
+    results = {}
+    engines = {}
+    for shards in SHARD_COUNTS:
+        engine = ShardedSearchEngine(
+            ClientConfig(params, key_seed=9), num_shards=shards, cache_capacity=512
+        )
+        engine.outsource(db)
+        report = engine.search_batch(queries)
+        engines[shards] = engine
+        results[shards] = report
+        rows.append(
+            [
+                shards,
+                f"{report.throughput_qps:.1f}",
+                f"{report.modeled_throughput_qps:.1f}",
+                f"{results[1].modeled_makespan / report.modeled_makespan:.2f}x",
+                f"{report.modeled_latency_percentile(99) * 1e3:.1f}",
+                f"{report.cache.hit_rate * 100:.0f}%",
+            ]
+        )
+
+    emit(
+        "serving_scaling",
+        format_table(
+            "serving throughput vs shard count (12-query batch)",
+            ("shards", "wall q/s", "modeled q/s", "modeled speedup", "p99 ms", "cache hit"),
+            rows,
+            paper_note="Fig. 9/12 batch workload on sharded CM-IFP backends",
+        ),
+    )
+
+    # every sharding must produce identical match sets
+    baseline = results[1].matches_per_query()
+    for shards in SHARD_COUNTS[1:]:
+        assert results[shards].matches_per_query() == baseline
+
+    # acceptance: >= 2x modeled batch throughput at 4 shards vs 1
+    speedup_at_4 = results[1].modeled_makespan / results[4].modeled_makespan
+    assert speedup_at_4 >= 2.0, f"4-shard modeled speedup only {speedup_at_4:.2f}x"
+
+    benchmark(engines[8].search_batch, queries)

@@ -1,2 +1,6 @@
+"""Compatibility shim for legacy tooling; all metadata lives in
+pyproject.toml (src layout, setuptools backend)."""
+
 from setuptools import setup
+
 setup()

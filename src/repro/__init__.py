@@ -22,6 +22,10 @@ Subpackages
 ``repro.ndp`` / ``repro.eval``
     Performance/energy models of the four evaluated systems and the
     per-figure reproduction harness.
+``repro.serve``
+    Production-style serving: the sharded concurrent query engine with
+    per-shard addition backends, a bounded LRU variant-ciphertext cache,
+    and queueing-model throughput/latency reporting.
 ``repro.workloads``
     DNA string matching and encrypted database search case studies.
 
@@ -37,7 +41,7 @@ Quickstart
 [160]
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import baselines, core, eval, flash, he, ndp, ssd, tfhe, workloads  # noqa: F401
 

@@ -7,6 +7,7 @@
     python -m repro readmap    # secure DNA read-mapping demo
     python -m repro tfhe       # bootstrapped-gate demo (real TFHE)
     python -m repro queueing   # SSD queueing-model cross-check
+    python -m repro serve      # sharded concurrent query-serving demo
 """
 
 from __future__ import annotations
@@ -117,6 +118,51 @@ def _queueing() -> int:
     return 0
 
 
+def _serve() -> int:
+    from repro.core import ClientConfig, SecureStringMatchPipeline
+    from repro.he import BFVParams
+    from repro.serve import ShardedSearchEngine
+    from repro.utils.bits import random_bits
+
+    rng = np.random.default_rng(7)
+    params = BFVParams.test_small(64)
+    bits_per_poly = 64 * 16
+    db = random_bits(8 * bits_per_poly, rng)
+    queries = []
+    for k in range(5):
+        q = random_bits(32, rng)
+        off = 16 * (3 + 29 * k)
+        db[off : off + 32] = q
+        queries.append(q)
+    # one occurrence straddling the boundary between shards 1 and 2
+    straddle = random_bits(32, rng)
+    boundary = 2 * 2 * bits_per_poly  # shard size = 2 polys at 4 shards
+    db[boundary - 16 : boundary + 16] = straddle
+    queries.append(straddle)
+    queries += queries[:2]  # repeats exercise deduplication
+
+    engine = ShardedSearchEngine(
+        ClientConfig(params, key_seed=11), num_shards=4, cache_capacity=128
+    )
+    engine.outsource(db)
+    report = engine.search_batch(queries)
+
+    pipe = SecureStringMatchPipeline(ClientConfig(params, key_seed=11))
+    pipe.outsource_database(db)
+    sequential = [pipe.search(q).matches for q in queries]
+    identical = report.matches_per_query() == sequential
+
+    print(report.summary_table())
+    print()
+    print(report.shard_table())
+    print()
+    print(
+        f"sharded results identical to sequential pipeline: "
+        f"{'OK' if identical else 'FAIL'}"
+    )
+    return 0 if identical else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     command = argv[0] if argv else "demo"
@@ -130,6 +176,8 @@ def main(argv: list[str] | None = None) -> int:
         return _tfhe()
     if command == "queueing":
         return _queueing()
+    if command == "serve":
+        return _serve()
     if command == "figures":
         from repro.eval.runner import main as figures_main
 

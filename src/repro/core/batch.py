@@ -1,16 +1,18 @@
 """Batched query execution.
 
 The Figure 9/12 workloads issue 1000 queries against one encrypted
-database.  :class:`BatchSearcher` runs a query batch over one pipeline:
-the encrypted database is packed/encrypted once, per-query variant
-ciphertexts are cached, and the report aggregates Hom-Add counts so the
-amortization the evaluation models assume is observable in code.
+database.  :class:`BatchSearcher` keeps the historical batch API but now
+executes on top of :class:`repro.serve.ShardedSearchEngine`: queries are
+deduplicated, variant ciphertexts flow through the serving layer's
+bounded LRU cache (the old unbounded per-batch dict is gone), and the
+full serving metrics of the last batch are available as
+:attr:`BatchSearcher.last_serve_report`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -50,30 +52,64 @@ class BatchSearcher:
     """Runs batches of queries against one outsourced database.
 
     Identical queries within a batch are deduplicated: the search runs
-    once and the report is shared (real query streams — e.g. the
-    database case study's key lookups — repeat keys).
+    once and the report object is shared (real query streams — e.g. the
+    database case study's key lookups — repeat keys).  Deduplication is
+    per batch by design: the old cross-batch report memo was unbounded,
+    which a long-lived serving process cannot afford; across batches the
+    bounded LRU variant cache still saves re-encryption.
+
+    With ``num_shards=1`` (the default) the batch executes on the
+    pipeline's own addition backend, so an IFP-backed pipeline still
+    exercises the simulated flash.  Larger shard counts split the
+    encrypted database across fresh per-shard backends built by
+    ``backend_factory`` (default: CPU reference backends).
     """
 
-    def __init__(self, pipeline: SecureStringMatchPipeline):
+    def __init__(
+        self,
+        pipeline: SecureStringMatchPipeline,
+        *,
+        num_shards: int = 1,
+        max_workers: Optional[int] = None,
+        cache_capacity: int = 256,
+        backend_factory=None,
+    ):
+        # Imported here: repro.serve depends on repro.core submodules.
+        from ..serve import ShardedSearchEngine
+
         self.pipeline = pipeline
-        self._memo: Dict[bytes, SearchReport] = {}
+        if num_shards == 1 and backend_factory is None:
+            backend_factory = lambda ctx, shard_id: pipeline.server.engine.backend
+        self._engine = ShardedSearchEngine(
+            client=pipeline.client,
+            num_shards=num_shards,
+            backend_factory=backend_factory,
+            max_workers=max_workers,
+            cache_capacity=cache_capacity,
+        )
         self.deduplicated_hits = 0
+        self.last_serve_report = None
+
+    @property
+    def engine(self):
+        """The underlying :class:`repro.serve.ShardedSearchEngine`."""
+        return self._engine
 
     def outsource(self, db_bits: np.ndarray):
-        self._memo.clear()
-        return self.pipeline.outsource_database(db_bits)
+        """Outsource through the pipeline (so ``pipeline.search`` stays
+        usable) and shard the resulting encrypted database."""
+        db = self.pipeline.outsource_database(db_bits)
+        self._engine.adopt_database(db)
+        return db
 
     def search_batch(
         self, queries: Sequence[np.ndarray], *, verify: bool = True
     ) -> BatchReport:
-        report = BatchReport()
-        for query in queries:
-            key = np.asarray(query, dtype=np.uint8).tobytes()
-            if key in self._memo:
-                self.deduplicated_hits += 1
-                report.reports.append(self._memo[key])
-                continue
-            result = self.pipeline.search(query, verify=verify)
-            self._memo[key] = result
-            report.reports.append(result)
-        return report
+        # The pipeline may have been outsourced directly (legacy usage);
+        # pick up whatever database it currently holds.
+        if self.pipeline.db is not None and self._engine.db is not self.pipeline.db:
+            self._engine.adopt_database(self.pipeline.db)
+        serve = self._engine.search_batch(queries, verify=verify)
+        self.deduplicated_hits += serve.deduplicated_hits
+        self.last_serve_report = serve
+        return BatchReport(reports=list(serve.reports))

@@ -18,7 +18,7 @@ import numpy as np
 
 from ..he.bfv import BFVContext, Ciphertext
 from .packing import EncryptedDatabase
-from .query import PreparedQuery, QueryVariant
+from .query import PreparedQuery, QueryVariant, variant_cache_key
 
 
 class AdditionBackend(Protocol):
@@ -88,7 +88,7 @@ class SecureSearchEngine:
                     ResultBlock(
                         poly_index=j,
                         variant_index=v_idx,
-                        variant_cache_key=v_idx * 1009 + residue,
+                        variant_cache_key=variant_cache_key(v_idx, residue),
                         ciphertext=result,
                     )
                 )

@@ -85,6 +85,15 @@ class PreparedQuery:
         return len(self.variants)
 
 
+def variant_cache_key(variant_index: int, residue: int) -> int:
+    """Cache key for one (variant, residue-class) encrypted query
+    polynomial.  The encrypted variant depends on the database polynomial
+    index ``j`` only through ``residue = (j * n) mod span``, so this key
+    identifies the ciphertext everywhere it is cached or predicted (the
+    deterministic comparator derives its masking polynomial from it)."""
+    return variant_index * 1009 + residue
+
+
 def guaranteed_phases(query_bits: int, chunk_width: int) -> List[int]:
     """Bit phases at which a query of this length is detected exactly
     (i.e., has at least one fully-covered interior chunk)."""
@@ -177,21 +186,47 @@ class QueryPreparer:
         O(variants * polynomials).
         """
         variant = prepared.variants[variant_index]
-        n = self.ctx.params.n
-        base = poly_index * n
-        residue = base % variant.span
+        residue = poly_index * self.ctx.params.n % variant.span
         key = (variant_index, residue)
         if key not in prepared._cipher_cache:
-            pt = self.variant_plaintext(variant, base)
-            if deterministic_seed is None:
-                ct = self.ctx.encrypt(pt, pk)
-            else:
-                u = derive_masking_poly(
-                    self.ctx, deterministic_seed, "qv", variant_index * 1009 + residue
-                )
-                ct = self.ctx.encrypt(pt, pk, noiseless=True, u=u)
-            prepared._cipher_cache[key] = ct
+            prepared._cipher_cache[key] = self.encrypt_variant_value(
+                prepared,
+                variant_index,
+                residue,
+                pk,
+                deterministic_seed=deterministic_seed,
+            )
         return prepared._cipher_cache[key]
+
+    def encrypt_variant_value(
+        self,
+        prepared: PreparedQuery,
+        variant_index: int,
+        residue: int,
+        pk: PublicKey,
+        *,
+        deterministic_seed: int | None = None,
+    ) -> Ciphertext:
+        """Encrypt the (variant, residue-class) query polynomial without
+        consulting or populating ``prepared``'s per-query cache.
+
+        The serving layer (:mod:`repro.serve`) calls this directly so its
+        *bounded* LRU cache is the only place variant ciphertexts are
+        retained.  ``residue`` stands in for the polynomial base index:
+        the coefficient layout only depends on ``poly_index * n`` modulo
+        the variant's span.
+        """
+        variant = prepared.variants[variant_index]
+        pt = self.variant_plaintext(variant, residue)
+        if deterministic_seed is None:
+            return self.ctx.encrypt(pt, pk)
+        u = derive_masking_poly(
+            self.ctx,
+            deterministic_seed,
+            "qv",
+            variant_cache_key(variant_index, residue),
+        )
+        return self.ctx.encrypt(pt, pk, noiseless=True, u=u)
 
 
 def _periodic_window(query_bits: np.ndarray, start: int, width: int) -> np.ndarray:

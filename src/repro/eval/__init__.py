@@ -23,7 +23,7 @@ from .plotting import (
     sparkline,
 )
 from .runner import run
-from .tables import format_bytes, format_table, geometric_mean
+from .tables import format_bytes, format_table, geometric_mean, percentile
 
 __all__ = [
     "bar_chart",
@@ -47,6 +47,7 @@ __all__ = [
     "format_table",
     "geometric_mean",
     "headline_summary",
+    "percentile",
     "run",
     "variants_for_query",
 ]

@@ -9,6 +9,16 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
+from ..utils.stats import percentile
+
+__all__ = [
+    "format_bytes",
+    "format_dict_rows",
+    "format_table",
+    "geometric_mean",
+    "percentile",
+]
+
 
 def format_table(
     title: str,

@@ -29,11 +29,14 @@ _CRT_PRIME_COUNT = 3
 
 
 def _bit_reverse_permutation(n: int) -> np.ndarray:
+    """Vectorized ``bits``-bit reversal of ``0..n-1`` (one shift/mask pass
+    per bit instead of per-element string formatting)."""
     bits = n.bit_length() - 1
-    perm = np.arange(n)
+    idx = np.arange(n, dtype=np.int64)
     out = np.zeros(n, dtype=np.int64)
-    for i in range(n):
-        out[i] = int(format(perm[i], f"0{bits}b")[::-1], 2)
+    for _ in range(bits):
+        out = (out << 1) | (idx & 1)
+        idx >>= 1
     return out
 
 

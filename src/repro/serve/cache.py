@@ -1,0 +1,96 @@
+"""Bounded, thread-safe LRU cache for encrypted query variants.
+
+A query batch re-encrypts the same (query, variant, residue-class)
+polynomial once per shard touch unless something caches it.  The old
+:class:`repro.core.batch.BatchSearcher` kept an *unbounded* per-batch
+dict; a serving process that stays up for millions of queries cannot do
+that.  :class:`VariantCipherCache` keeps the most recently used variant
+ciphertexts under a hard entry bound and reports hit/miss/eviction
+statistics so the serving report can surface cache effectiveness.
+
+The cache also doubles as the encryption serialization point: BFV
+encryption draws from the client's (non-thread-safe) RNG, so the miss
+path runs the factory under the cache lock.  Hom-Adds dominate the
+serving cost, so serializing encryption costs little and guarantees each
+key is encrypted at most once per residency.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable, TypeVar
+
+V = TypeVar("V")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time snapshot of cache effectiveness counters."""
+
+    capacity: int
+    size: int
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class VariantCipherCache:
+    """LRU-bounded map from cache keys to encrypted query variants."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], V]) -> V:
+        """Return the cached value for ``key``, creating it on miss.
+
+        The factory runs under the cache lock (see module docstring), so
+        it must not re-enter the cache.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]  # type: ignore[return-value]
+            self.misses += 1
+            value = factory()
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return value
+
+    def clear(self) -> None:
+        """Drop all entries (new database outsourced); counters persist
+        so long-running serving stats survive re-outsourcing."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                capacity=self.capacity,
+                size=len(self._entries),
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+            )

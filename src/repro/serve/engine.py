@@ -1,0 +1,385 @@
+"""Concurrent sharded execution of the Hom-Add secure search.
+
+:class:`ShardedSearchEngine` splits an :class:`EncryptedDatabase` into
+contiguous per-shard polynomial slices, gives every shard its own
+:class:`AdditionBackend` instance (CPU reference or simulated in-flash),
+and drives a worker pool over a task queue of (query, shard) units.
+Per-shard :class:`ResultBlock` lists carry *global* polynomial indices,
+so merging them reproduces exactly the block set the single-pipeline
+:class:`~repro.core.pipeline.SecureStringMatchPipeline` emits — decode
+is byte-identical, including matches that span shard boundaries (the
+run-detection in :class:`~repro.core.matcher.ResultDecoder` operates on
+the globally concatenated flag vector).
+
+Concurrency model
+-----------------
+* A shard executes one task at a time (its lock models the physical
+  die-group and protects stateful backends such as
+  :class:`~repro.ssd.device.IFPAdditionBackend`).
+* Variant encryption is serialized through the shared bounded LRU
+  :class:`~repro.serve.cache.VariantCipherCache` (the client RNG is not
+  thread-safe); Hom-Adds — the dominant cost — run concurrently across
+  shards.
+* The worker completing a query's last shard task finalizes it (index
+  generation + decode + verification), so decode of one query overlaps
+  the Hom-Adds of the next.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..he.bfv import BFVContext, Ciphertext
+from ..core.client import CipherMatchClient, ClientConfig
+from ..core.match_polynomial import DeterministicComparator, IndexMode
+from ..core.matcher import AdditionBackend, CPUAdditionBackend, ResultBlock
+from ..core.packing import EncryptedDatabase
+from ..core.pipeline import SearchReport
+from ..core.query import PreparedQuery, variant_cache_key
+from .cache import VariantCipherCache
+from .report import ServeReport, ShardStats
+from .scheduler import ServeScheduler, ShardTaskTrace
+
+#: builds the addition backend for one shard: ``factory(ctx, shard_id)``
+BackendFactory = Callable[[BFVContext, int], AdditionBackend]
+
+
+@dataclass
+class DbShard:
+    """A contiguous slice of the encrypted database bound to one backend."""
+
+    shard_id: int
+    base_poly: int
+    ciphertexts: List[Ciphertext]
+    backend: AdditionBackend
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    hom_adds: int = 0
+    tasks_executed: int = 0
+    busy_seconds: float = 0.0
+
+    @property
+    def num_polynomials(self) -> int:
+        return len(self.ciphertexts)
+
+
+class _QueryJob:
+    """One distinct query in flight across all shards."""
+
+    def __init__(self, index: int, query_bits: np.ndarray, key: bytes,
+                 prepared: PreparedQuery, num_shards: int):
+        self.index = index
+        self.query_bits = query_bits
+        self.key = key
+        self.prepared = prepared
+        self.blocks: List[ResultBlock] = []
+        self.remaining = num_shards
+        self.lock = threading.Lock()
+        self.finished_at: float = 0.0
+        self.report: Optional[SearchReport] = None
+
+
+class ShardedSearchEngine:
+    """Serves query batches over a sharded encrypted database.
+
+    Parameters
+    ----------
+    config:
+        Client configuration; ignored when ``client`` is given.
+    client:
+        An existing :class:`CipherMatchClient` to reuse (lets the engine
+        adopt a database a pipeline already outsourced).
+    num_shards:
+        Requested shard count; clamped to the number of database
+        polynomials at :meth:`outsource` time.
+    backend_factory:
+        Builds one backend per shard; defaults to fresh
+        :class:`CPUAdditionBackend` instances.
+    max_workers:
+        Worker-pool size; defaults to the shard count (more workers than
+        shards cannot help — shards serialize their own tasks).
+    cache_capacity:
+        Bound on the shared variant-ciphertext LRU cache.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ClientConfig] = None,
+        *,
+        client: Optional[CipherMatchClient] = None,
+        num_shards: int = 1,
+        backend_factory: Optional[BackendFactory] = None,
+        max_workers: Optional[int] = None,
+        cache_capacity: int = 256,
+        scheduler: Optional[ServeScheduler] = None,
+    ):
+        if client is None:
+            if config is None:
+                raise ValueError("provide a ClientConfig or a client")
+            client = CipherMatchClient(config)
+        self.client = client
+        self.config = client.config
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+        self.backend_factory: BackendFactory = backend_factory or (
+            lambda ctx, shard_id: CPUAdditionBackend(ctx)
+        )
+        self.max_workers = max_workers
+        self.cache = VariantCipherCache(cache_capacity)
+        self.scheduler = scheduler or ServeScheduler(
+            word_bits=self._word_bits(client.ctx)
+        )
+        self.shards: List[DbShard] = []
+        self.db: Optional[EncryptedDatabase] = None
+        self._comparator: Optional[DeterministicComparator] = None
+
+    @staticmethod
+    def _word_bits(ctx: BFVContext) -> int:
+        q = ctx.params.q
+        bits = (q - 1).bit_length()
+        return bits if q == 1 << bits else 32
+
+    # -- database placement ---------------------------------------------
+
+    def outsource(self, db_bits: np.ndarray) -> EncryptedDatabase:
+        """Pack + encrypt the database, then split it across shards."""
+        db = self.client.outsource(np.asarray(db_bits, dtype=np.uint8))
+        self.adopt_database(db)
+        return db
+
+    def adopt_database(self, db: EncryptedDatabase) -> None:
+        """Shard an already-encrypted database (e.g. one a pipeline
+        outsourced) without re-encrypting."""
+        self.db = db
+        self.cache.clear()
+        effective = max(1, min(self.num_shards, db.num_polynomials))
+        bounds = np.linspace(0, db.num_polynomials, effective + 1).astype(int)
+        self.shards = [
+            DbShard(
+                shard_id=i,
+                base_poly=int(bounds[i]),
+                ciphertexts=db.ciphertexts[int(bounds[i]) : int(bounds[i + 1])],
+                backend=self.backend_factory(self.client.ctx, i),
+            )
+            for i in range(effective)
+        ]
+        self._comparator = None
+        if self.config.index_mode is IndexMode.SERVER_DETERMINISTIC:
+            self._comparator = DeterministicComparator(
+                self.client.ctx,
+                self.client.pk,
+                self.config.deterministic_seed,
+                self.client.chunk_width,
+            )
+
+    # -- queries ---------------------------------------------------------
+
+    def search(self, query_bits: np.ndarray, *, verify: bool = True) -> SearchReport:
+        """Single-query convenience wrapper around :meth:`search_batch`."""
+        return self.search_batch([query_bits], verify=verify).reports[0]
+
+    def search_batch(
+        self, queries: Sequence[np.ndarray], *, verify: bool = True
+    ) -> ServeReport:
+        """Execute a query batch across all shards concurrently."""
+        if self.db is None or not self.shards:
+            raise RuntimeError("outsource or adopt a database first")
+
+        # Deduplicate identical queries; duplicates share one job/report.
+        jobs: List[_QueryJob] = []
+        by_key: Dict[bytes, _QueryJob] = {}
+        order: List[_QueryJob] = []
+        dedup_hits = 0
+        for q in queries:
+            bits = np.asarray(q, dtype=np.uint8)
+            key = bits.tobytes()
+            job = by_key.get(key)
+            if job is None:
+                job = _QueryJob(
+                    index=len(jobs),
+                    query_bits=bits,
+                    key=key,
+                    prepared=self.client.prepare_query(bits),
+                    num_shards=len(self.shards),
+                )
+                by_key[key] = job
+                jobs.append(job)
+            else:
+                dedup_hits += 1
+            order.append(job)
+
+        tasks: "queue_mod.Queue" = queue_mod.Queue()
+        for job in jobs:
+            for shard in self.shards:
+                tasks.put((job, shard))
+
+        depth_samples: List[int] = []
+        traces: List[ShardTaskTrace] = []
+        trace_lock = threading.Lock()
+        errors: List[BaseException] = []
+        start = time.perf_counter()
+
+        def worker() -> None:
+            while True:
+                try:
+                    job, shard = tasks.get_nowait()
+                except queue_mod.Empty:
+                    return
+                try:
+                    with shard.lock:
+                        depth_samples.append(tasks.qsize())
+                        blocks = self._run_shard_task(shard, job)
+                    with trace_lock:
+                        traces.append(
+                            # Every batch task enters the queue at t=0;
+                            # the device model must not inherit the
+                            # Python driver's pacing.
+                            ShardTaskTrace(
+                                query_index=job.index,
+                                shard_id=shard.shard_id,
+                                hom_adds=len(blocks),
+                            )
+                        )
+                    with job.lock:
+                        job.blocks.extend(blocks)
+                        job.remaining -= 1
+                        last = job.remaining == 0
+                    if last:
+                        # This worker finalizes the query so decode
+                        # overlaps other queries' Hom-Adds.
+                        job.report = self._finalize(job, verify=verify)
+                        job.finished_at = time.perf_counter() - start
+                except BaseException as exc:  # pragma: no cover - propagated
+                    errors.append(exc)
+                    return
+
+        num_workers = min(
+            self.max_workers or len(self.shards),
+            max(1, len(jobs) * len(self.shards)),
+        )
+        threads = [
+            threading.Thread(target=worker, name=f"serve-worker-{i}")
+            for i in range(num_workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+        wall = time.perf_counter() - start
+
+        sim = self.scheduler.simulate(
+            traces, self.db.ciphertexts[0].serialized_bytes if self.db.ciphertexts else 0
+        )
+        # Expand per distinct job -> per input query (duplicates share a
+        # job), so wall and modeled percentiles weight queries equally.
+        job_modeled = self.scheduler.per_query_latency(sim)
+        modeled_latencies = {
+            i: job_modeled.get(job.index, 0.0) for i, job in enumerate(order)
+        }
+        shard_stats = []
+        for shard in self.shards:
+            channel, die = self.scheduler.placement(shard.shard_id)
+            shard_stats.append(
+                ShardStats(
+                    shard_id=shard.shard_id,
+                    channel=channel,
+                    die=die,
+                    num_polynomials=shard.num_polynomials,
+                    hom_adds=shard.hom_adds,
+                    tasks_executed=shard.tasks_executed,
+                    busy_seconds=shard.busy_seconds,
+                    modeled_utilization=sim.die_utilization(channel, die),
+                )
+            )
+
+        return ServeReport(
+            reports=[job.report for job in order],
+            num_shards=len(self.shards),
+            num_workers=num_workers,
+            wall_seconds=wall,
+            latencies=[job.finished_at for job in order],
+            deduplicated_hits=dedup_hits,
+            cache=self.cache.stats(),
+            shards=shard_stats,
+            queue_depth_max=max(depth_samples, default=0),
+            queue_depth_mean=(
+                sum(depth_samples) / len(depth_samples) if depth_samples else 0.0
+            ),
+            modeled_makespan=sim.makespan,
+            modeled_latencies=modeled_latencies,
+            encrypted_db_bytes=self.db.serialized_bytes,
+        )
+
+    # -- shard execution -------------------------------------------------
+
+    def _run_shard_task(self, shard: DbShard, job: _QueryJob) -> List[ResultBlock]:
+        """Hom-Add every query variant against this shard's slice.
+
+        Emits blocks with *global* polynomial indices so the merged set
+        is indistinguishable from a sequential single-engine run.
+        """
+        det_seed = None
+        if self.config.index_mode is IndexMode.SERVER_DETERMINISTIC:
+            det_seed = self.config.deterministic_seed
+        n = self.db.n
+        prepared = job.prepared
+        blocks: List[ResultBlock] = []
+        t0 = time.perf_counter()
+        for v_idx, variant in enumerate(prepared.variants):
+            for local_j, db_ct in enumerate(shard.ciphertexts):
+                j = shard.base_poly + local_j
+                residue = (j * n) % variant.span
+                query_ct = self.cache.get_or_create(
+                    (job.key, v_idx, residue),
+                    lambda: self.client.preparer.encrypt_variant_value(
+                        prepared, v_idx, residue, self.client.pk,
+                        deterministic_seed=det_seed,
+                    ),
+                )
+                blocks.append(
+                    ResultBlock(
+                        poly_index=j,
+                        variant_index=v_idx,
+                        variant_cache_key=variant_cache_key(v_idx, residue),
+                        ciphertext=shard.backend.hom_add(db_ct, query_ct),
+                    )
+                )
+        shard.busy_seconds += time.perf_counter() - t0
+        shard.hom_adds += len(blocks)
+        shard.tasks_executed += 1
+        return blocks
+
+    # -- result merge + decode -------------------------------------------
+
+    def _finalize(self, job: _QueryJob, *, verify: bool) -> SearchReport:
+        """Merge per-shard blocks and decode exactly like the pipeline."""
+        blocks = sorted(job.blocks, key=lambda b: (b.variant_index, b.poly_index))
+        if self._comparator is not None:
+            flags = {
+                (b.variant_index, b.poly_index): self._comparator.flag_matches(
+                    b.ciphertext, b.poly_index, b.variant_cache_key
+                )
+                for b in blocks
+            }
+            candidates = self.client.decode_server_flags(
+                job.prepared, flags, self.db, verify=verify
+            )
+        else:
+            candidates = self.client.decode_results(
+                job.prepared, blocks, self.db, verify=verify
+            )
+        return SearchReport(
+            matches=[c.offset for c in candidates],
+            candidates=candidates,
+            hom_additions=len(blocks),
+            num_variants=job.prepared.num_variants,
+            encrypted_db_bytes=self.db.serialized_bytes,
+        )

@@ -1,0 +1,155 @@
+"""Serving metrics: throughput, latency percentiles, shard utilization.
+
+:class:`ServeReport` is what :meth:`ShardedSearchEngine.search_batch`
+returns — the per-query :class:`~repro.core.pipeline.SearchReport` list
+(so correctness consumers see exactly what the sequential pipeline would
+produce) plus the operational metrics a serving deployment watches.  The
+tables render through :mod:`repro.eval.tables` so serving output matches
+the paper-figure reproductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..core.pipeline import SearchReport
+from ..eval.tables import format_bytes, format_table, percentile
+from .cache import CacheStats
+
+
+@dataclass
+class ShardStats:
+    """Work and occupancy accounting for one shard."""
+
+    shard_id: int
+    channel: int
+    die: int
+    num_polynomials: int
+    hom_adds: int
+    tasks_executed: int
+    busy_seconds: float
+    #: fraction of the modeled makespan the shard's die was busy
+    modeled_utilization: float
+
+    def wall_utilization(self, wall_seconds: float) -> float:
+        return self.busy_seconds / wall_seconds if wall_seconds > 0 else 0.0
+
+
+@dataclass
+class ServeReport:
+    """Outcome + operational metrics of one served query batch."""
+
+    #: per-input-query search reports (duplicates share one object)
+    reports: List[SearchReport]
+    num_shards: int
+    num_workers: int
+    wall_seconds: float
+    #: per-query wall latency: batch start -> all shard work merged
+    latencies: List[float]
+    deduplicated_hits: int
+    cache: CacheStats
+    shards: List[ShardStats] = field(default_factory=list)
+    queue_depth_max: int = 0
+    queue_depth_mean: float = 0.0
+    #: discrete-event queueing model of the same batch on CM-IFP shards
+    modeled_makespan: float = 0.0
+    #: modeled latency per input query (keyed by batch position, so the
+    #: population matches :attr:`latencies` duplicate-for-duplicate)
+    modeled_latencies: Dict[int, float] = field(default_factory=dict)
+    encrypted_db_bytes: int = 0
+
+    # -- aggregate correctness counters (BatchReport parity) -----------
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.reports)
+
+    @property
+    def total_hom_additions(self) -> int:
+        return sum(r.hom_additions for r in self.reports)
+
+    @property
+    def total_matches(self) -> int:
+        return sum(r.num_matches for r in self.reports)
+
+    def matches_per_query(self) -> List[List[int]]:
+        return [r.matches for r in self.reports]
+
+    # -- throughput / latency ------------------------------------------
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.num_queries / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def modeled_throughput_qps(self) -> float:
+        if self.modeled_makespan <= 0:
+            return 0.0
+        return self.num_queries / self.modeled_makespan
+
+    def latency_percentile(self, pct: float) -> float:
+        return percentile(self.latencies, pct)
+
+    def modeled_latency_percentile(self, pct: float) -> float:
+        return percentile(list(self.modeled_latencies.values()), pct)
+
+    # -- rendering ------------------------------------------------------
+
+    def summary_table(self) -> str:
+        rows = [
+            ("queries", self.num_queries),
+            ("matches", self.total_matches),
+            ("Hom-Adds", self.total_hom_additions),
+            ("deduplicated", self.deduplicated_hits),
+            ("shards x workers", f"{self.num_shards} x {self.num_workers}"),
+            ("encrypted DB", format_bytes(self.encrypted_db_bytes)),
+            ("wall time", f"{self.wall_seconds * 1e3:.1f} ms"),
+            ("throughput", f"{self.throughput_qps:.1f} q/s"),
+            ("p50 / p95 / p99 latency", self._latency_cell(self.latency_percentile)),
+            ("modeled makespan", f"{self.modeled_makespan * 1e3:.2f} ms"),
+            ("modeled throughput", f"{self.modeled_throughput_qps:.1f} q/s"),
+            (
+                "modeled p50 / p95 / p99",
+                self._latency_cell(self.modeled_latency_percentile),
+            ),
+            ("cache hit rate", f"{self.cache.hit_rate * 100:.1f}%"),
+            (
+                "cache size",
+                f"{self.cache.size}/{self.cache.capacity} "
+                f"({self.cache.evictions} evicted)",
+            ),
+            ("queue depth max/mean", f"{self.queue_depth_max}/{self.queue_depth_mean:.1f}"),
+        ]
+        return format_table(
+            "serving batch report",
+            ("metric", "value"),
+            [list(r) for r in rows],
+            paper_note="Fig. 9/12 batch workloads served by sharded CM backends",
+        )
+
+    def _latency_cell(self, pctl) -> str:
+        return (
+            f"{pctl(50) * 1e3:.2f} / {pctl(95) * 1e3:.2f} / "
+            f"{pctl(99) * 1e3:.2f} ms"
+        )
+
+    def shard_table(self) -> str:
+        rows = []
+        for s in self.shards:
+            rows.append(
+                [
+                    s.shard_id,
+                    f"ch{s.channel}/die{s.die}",
+                    s.num_polynomials,
+                    s.tasks_executed,
+                    s.hom_adds,
+                    f"{s.wall_utilization(self.wall_seconds) * 100:.0f}%",
+                    f"{s.modeled_utilization * 100:.0f}%",
+                ]
+            )
+        return format_table(
+            "per-shard utilization",
+            ("shard", "placement", "polys", "tasks", "hom-adds", "wall util", "modeled util"),
+            rows,
+        )

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..flash.cell_array import FlashGeometry
 from ..flash.timing import FlashTimings
+from ..utils.stats import percentile
 
 
 class RequestKind(Enum):
@@ -80,13 +81,7 @@ class SimulationResult:
 
     def percentile_latency(self, pct: float) -> float:
         """Latency at percentile ``pct`` (0-100, nearest-rank)."""
-        if not self.requests:
-            return 0.0
-        if not 0 < pct <= 100:
-            raise ValueError("percentile must be in (0, 100]")
-        ordered = sorted(r.latency for r in self.requests)
-        rank = max(int(len(ordered) * pct / 100.0 + 0.999999) - 1, 0)
-        return ordered[min(rank, len(ordered) - 1)]
+        return percentile([r.latency for r in self.requests], pct)
 
     def channel_utilization(self, channel: int) -> float:
         if self.makespan == 0:

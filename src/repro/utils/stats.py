@@ -1,0 +1,21 @@
+"""Small shared statistics helpers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sequence.
+
+    The single implementation behind the SSD queueing model's latency
+    percentiles and the serving report's wall/modeled percentiles, so
+    the convention cannot drift between the two.
+    """
+    if not values:
+        return 0.0
+    if not 0 < pct <= 100:
+        raise ValueError("percentile must be in (0, 100]")
+    ordered = sorted(values)
+    rank = max(int(len(ordered) * pct / 100.0 + 0.999999) - 1, 0)
+    return ordered[min(rank, len(ordered) - 1)]

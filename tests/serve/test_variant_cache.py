@@ -1,0 +1,66 @@
+"""Unit tests for the bounded LRU variant-ciphertext cache."""
+
+import threading
+
+import pytest
+
+from repro.serve import VariantCipherCache
+
+
+class TestLruSemantics:
+    def test_eviction_respects_bound(self):
+        cache = VariantCipherCache(4)
+        for i in range(10):
+            cache.get_or_create(i, lambda i=i: i * 100)
+        stats = cache.stats()
+        assert len(cache) == 4
+        assert stats.size == 4
+        assert stats.evictions == 6
+        # the four most recently used keys survive
+        assert cache.get_or_create(9, lambda: "rebuilt") == 900
+
+    def test_least_recently_used_is_evicted_first(self):
+        cache = VariantCipherCache(2)
+        cache.get_or_create("a", lambda: 1)
+        cache.get_or_create("b", lambda: 2)
+        cache.get_or_create("a", lambda: "miss")  # refresh a
+        cache.get_or_create("c", lambda: 3)  # evicts b, not a
+        assert cache.get_or_create("a", lambda: "rebuilt") == 1
+        assert cache.get_or_create("b", lambda: "rebuilt") == "rebuilt"
+
+    def test_hit_rate_reported(self):
+        cache = VariantCipherCache(8)
+        cache.get_or_create("k", lambda: 0)
+        cache.get_or_create("k", lambda: 0)
+        cache.get_or_create("j", lambda: 0)
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 2
+        assert stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_clear_keeps_counters(self):
+        cache = VariantCipherCache(8)
+        cache.get_or_create("k", lambda: 0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().misses == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            VariantCipherCache(0)
+
+    def test_factory_runs_once_per_residency(self):
+        cache = VariantCipherCache(16)
+        calls = []
+
+        def worker():
+            for _ in range(50):
+                cache.get_or_create("shared", lambda: calls.append(1))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
+        assert cache.stats().hits == 199
