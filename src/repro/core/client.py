@@ -29,6 +29,9 @@ class ClientConfig:
     index_mode: IndexMode = IndexMode.CLIENT_DECRYPT
     deterministic_seed: Optional[int] = None
     key_seed: Optional[int] = None
+    #: polynomial-arithmetic backend ("vectorized" / "reference"); None
+    #: defers to the process default (see repro.he.backend).
+    poly_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.index_mode is IndexMode.SERVER_DETERMINISTIC and (
@@ -42,8 +45,12 @@ class CipherMatchClient:
 
     def __init__(self, config: ClientConfig):
         self.config = config
-        self.ctx = BFVContext(config.params, seed=config.key_seed)
-        keygen = KeyGenerator(config.params, seed=config.key_seed)
+        self.ctx = BFVContext(
+            config.params, seed=config.key_seed, backend=config.poly_backend
+        )
+        keygen = KeyGenerator(
+            config.params, seed=config.key_seed, backend=config.poly_backend
+        )
         self.sk: SecretKey = keygen.secret_key()
         self.pk: PublicKey = keygen.public_key(self.sk)
         self.packer = DataPacker(self.ctx, config.chunk_width)

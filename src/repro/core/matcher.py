@@ -157,13 +157,10 @@ class ResultDecoder:
                     shifted[: total - k] = flags[k:]
                 run &= shifted
         starts = np.nonzero(run)[0]
-        for g in starts:
-            if (g - variant.rotation) % span != 0:
-                continue
-            offset = int(g) * w - o
-            if offset < 0 or offset + y > self.db_bit_length:
-                continue
-            yield offset
+        starts = starts[(starts - variant.rotation) % span == 0]
+        offsets = starts * w - o
+        offsets = offsets[(offsets >= 0) & (offsets + y <= self.db_bit_length)]
+        return (int(offset) for offset in offsets)
 
 
 def verify_candidates(

@@ -2,6 +2,13 @@
 (Ring-LWE over ``Z_q[X]/(X^n+1)``) with packing encoders, a Boolean mode
 (TFHE stand-in), Galois automorphisms, and noise-budget diagnostics."""
 
+from .backend import (
+    PolyBackend,
+    ReferenceBackend,
+    VectorizedBackend,
+    get_default_backend,
+    set_default_backend,
+)
 from .batch_encoder import BatchEncoder
 from .bfv import BFVContext, Ciphertext, OperationCounter, Plaintext
 from .boolean import BooleanContext, GateCostModel
@@ -50,20 +57,25 @@ __all__ = [
     "NoiseTracker",
     "OperationCounter",
     "Plaintext",
+    "PolyBackend",
     "PublicKey",
+    "ReferenceBackend",
     "RelinKey",
     "RingContext",
     "RingPoly",
     "SecretKey",
     "SecurityReport",
     "SingleBitEncoder",
+    "VectorizedBackend",
     "deserialize_ciphertext",
     "deserialize_plaintext",
     "deserialize_public_key",
     "deserialize_secret_key",
     "generate_keys",
+    "get_default_backend",
     "serialize_ciphertext",
     "serialize_plaintext",
     "serialize_public_key",
     "serialize_secret_key",
+    "set_default_backend",
 ]

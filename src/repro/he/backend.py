@@ -1,0 +1,814 @@
+"""Pluggable polynomial-arithmetic backends for ``R_q = Z_q[X]/(X^n+1)``.
+
+The ring operations that dominate every hot path in this repo — the
+negacyclic multiply behind encryption (``pk0 * u``), decryption
+(``c1 * s``), and the deterministic comparator (``pk0 * u_total``) —
+are dispatched through a backend object bound to one ``(n, q)`` pair:
+
+* :class:`ReferenceBackend` — the exact big-int path the repo shipped
+  with.  Multiplication uses a single negacyclic NTT when ``q`` is an
+  NTT-friendly prime below 2**31 and the three-prime CRT convolution
+  otherwise; the final reduction and oversized scalar products go
+  through Python-int (object dtype) arithmetic.  Slow but transparently
+  correct; kept as the oracle the property tests compare against.
+* :class:`VectorizedBackend` — residue-number-system (RNS) arithmetic:
+  the operands are decomposed into however many NTT-prime limbs the
+  exact product needs (``prod(p_i) > 2 n (q/2)^2``), each limb is
+  transformed with the vectorized iterative NTT, and the limbs are
+  recombined with a Garner mixed-radix reconstruction that folds
+  directly into ``[0, q)`` using int64-safe modular kernels — no
+  Python-int arithmetic anywhere on the multiply, scalar-multiply, or
+  automorphism path.  Forward NTT limb transforms are cached on the
+  :class:`~repro.he.poly.RingPoly` objects themselves, so repeated
+  products against the same polynomial (the database polynomial in the
+  serving inner loop, the secret key in batch decryption) transform
+  once and reuse.
+
+Both backends are *exact*: for every supported ``(n, q)`` they return
+bit-identical coefficient vectors (``tests/he/test_backend_parity.py``
+enforces this property over randomized inputs, including ``q`` near the
+2**62 support cap where the RNS limb path is exercised hardest).
+
+Selection
+---------
+``RingContext(n, q, backend=...)`` accepts a backend name or instance.
+When omitted, the process-wide default applies: whatever was installed
+with :func:`set_default_backend`, else the ``REPRO_POLY_BACKEND``
+environment variable, else ``"vectorized"``.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+import numpy as np
+
+from .ntt import exact_negacyclic_convolution, get_plan
+from .primes import find_ntt_primes, is_prime, mod_inverse
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (poly -> backend)
+    from .poly import RingPoly
+
+#: limb primes are found just below 2**30 so every butterfly product and
+#: every Garner intermediate stays comfortably inside int64.
+_LIMB_PRIME_BITS = 30
+
+#: float64 mantissa headroom for the Barrett-style quotient estimate in
+#: :func:`mulmod_scalar`; see the proof sketch there.
+_FLOAT_SAFE_VEC_BITS = 40
+_FLOAT_SAFE_MOD_BITS = 50
+
+
+def _is_native_ntt_modulus(n: int, q: int) -> bool:
+    """True when ``q`` itself is an NTT-friendly prime below 2**31."""
+    return q < (1 << 31) and (q - 1) % (2 * n) == 0 and is_prime(q)
+
+
+# ---------------------------------------------------------------------------
+# int64-safe modular kernels
+# ---------------------------------------------------------------------------
+
+
+def mulmod_scalar(
+    vec: np.ndarray, scalar: int, q: int, *, vec_bits: int | None = None
+) -> np.ndarray:
+    """``vec * scalar mod q`` for an int64 vector with values in ``[0, q)``.
+
+    Exact for every ``q`` up to the ring's 2**62 cap, without Python-int
+    arithmetic, by picking the cheapest safe kernel:
+
+    * *direct* — one fused multiply when the product provably fits int64;
+    * *float-quotient* — Barrett-style: estimate ``floor(v s / q)`` in
+      float64 and recover the (small) remainder with wrapping int64
+      arithmetic.  The quotient estimate is within +-1 of exact whenever
+      the quotient needs <= 40 bits (error ``~quot * 2**-52``) or
+      ``q < 2**50`` (error ``< 2``), so the wrapped remainder stays well
+      inside int64 and one final ``% q`` fixes it up;
+    * *binary ladder* — ~62 vectorized double-and-reduce passes, the
+      fallback for 62-bit ``q`` times 62-bit scalars.
+
+    ``vec_bits`` bounds the bit length of the vector's values (defaults
+    to the worst case ``q - 1``); callers with small values — e.g. the
+    30-bit Garner digits — pass it to unlock the cheaper kernels.
+    """
+    scalar %= q
+    if scalar == 0:
+        return np.zeros_like(vec)
+    if scalar == 1:
+        return vec.copy()
+    if vec_bits is None:
+        vec_bits = (q - 1).bit_length()
+    if vec_bits + scalar.bit_length() <= 63:
+        return vec * scalar % q
+    if vec_bits <= _FLOAT_SAFE_VEC_BITS or q.bit_length() <= _FLOAT_SAFE_MOD_BITS:
+        quot = (vec.astype(np.float64) * (scalar / q)).astype(np.int64)
+        # Wrapping int64 arithmetic: the true remainder has magnitude
+        # < 3q < 2**63, so the wrapped difference equals it exactly.
+        rem = vec * np.int64(scalar) - quot * np.int64(q)
+        return rem % q
+    result = np.zeros_like(vec)
+    base = vec % q
+    s = scalar
+    while s:
+        if s & 1:
+            result = result + base
+            result = np.where(result >= q, result - q, result)
+        s >>= 1
+        if s:
+            base = base + base
+            base = np.where(base >= q, base - q, base)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# RNS basis: limb decomposition + Garner recombination mod q
+# ---------------------------------------------------------------------------
+
+
+class _StackedNtt:
+    """All limb NTTs in one pass: ``(k, n)`` int64 matrices with a
+    per-row modulus.
+
+    Reuses the per-prime tables of the cached :class:`~repro.he.ntt.NttPlan`
+    objects but runs the butterfly stages over every limb simultaneously
+    (one numpy dispatch per stage instead of per limb) and replaces the
+    post-add/sub ``% p`` with lazy conditional corrections — int64
+    division is the slowest vector op in the loop, while compare+subtract
+    vectorizes.  Only the twiddle product needs a true reduction.
+    """
+
+    def __init__(self, plans: Sequence):
+        self.n = plans[0].n
+        self.p = np.array([plan.p for plan in plans], dtype=np.int64)[:, None]
+        self._p3 = self.p[:, :, None]
+        self._psi = np.stack([plan._psi_pows for plan in plans])
+        self._ipsi = np.stack([plan._ipsi_pows for plan in plans])
+        self._n_inv = np.array(
+            [plan._n_inv for plan in plans], dtype=np.int64
+        )[:, None]
+        self._bitrev = plans[0]._bitrev
+        self._tw = [
+            np.stack(stage)[:, None, :]
+            for stage in zip(*[plan._stage_twiddles for plan in plans])
+        ]
+        self._itw = [
+            np.stack(stage)[:, None, :]
+            for stage in zip(*[plan._stage_itwiddles for plan in plans])
+        ]
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """(n,) signed coefficients -> (k, n) limb transforms."""
+        a = (coeffs[None, :] % self.p) * self._psi % self.p
+        return self._transform(a, self._tw)
+
+    def forward_pair(self, a: np.ndarray, b: np.ndarray):
+        return self.forward(a), self.forward(b)
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        a = self._transform(values % self.p, self._itw)
+        a = a * self._n_inv % self.p
+        return a * self._ipsi % self.p
+
+    inverse_reduced = inverse
+
+    def _transform(self, a: np.ndarray, twiddles: list) -> np.ndarray:
+        # Invariant: every value stays in [0, p) per row, so the
+        # butterfly sums/differences need one conditional fix-up, not a
+        # division.  Twiddle products (< 2**60) fit int64.
+        p3 = self._p3
+        a = a[:, self._bitrev].copy()
+        length = 1
+        for w in twiddles:
+            blocks = a.reshape(a.shape[0], -1, 2 * length)
+            lo = blocks[:, :, :length].copy()
+            hi = blocks[:, :, length:] * w % p3
+            total = lo + hi
+            blocks[:, :, :length] = np.where(total >= p3, total - p3, total)
+            diff = lo - hi
+            blocks[:, :, length:] = np.where(diff < 0, diff + p3, diff)
+            length *= 2
+        return a
+
+
+class _FourStepNtt:
+    """Batched four-step negacyclic NTT over all limbs, with the DFT
+    stages as float64 BLAS matmuls.
+
+    The size-``n`` cyclic DFT factors as ``n = R * C``: a size-``R``
+    DFT down the columns, a twiddle correction ``w^(s*c)``, and a
+    size-``C`` DFT along the rows.  Each small DFT is a modular matrix
+    product evaluated exactly in float64: the data operand is split into
+    15-bit halves and the high half hits a pre-scaled matrix
+    ``W * 2**15 mod p``, so both partial products are integer dgemms
+    below ``2**30 * 2**15 * 128 <= 2**52`` (inside the float64 mantissa)
+    and their sum recombines with a single float add and ONE ``% p``.
+    ``R, C <= 128`` caps this at ``n <= 2**14``; larger rings fall back
+    to :class:`_StackedNtt`.
+
+    Two more folds keep elementwise passes off the hot path: the
+    negacyclic ``psi^i = psi^(r*C) * psi^c`` pre-multiplication is
+    absorbed into the row-DFT matrix (``psi^(r*C)``, a column scaling)
+    and the twiddle matrix (``psi^c``), and symmetrically for the
+    inverse — so forward/inverse never touch the coefficients outside
+    the two matmuls and the twiddle product.
+
+    The transform emits values in digit-permuted order.  That is fine
+    for convolution — ``inverse`` is the exact functional inverse of
+    ``forward``, and pointwise products commute with any fixed
+    permutation — and saves the final transpose pass.
+    """
+
+    _SPLIT = 15
+    _MASK = (1 << _SPLIT) - 1
+
+    def __init__(self, plans: Sequence):
+        self.n = n = plans[0].n
+        self.p = np.array([plan.p for plan in plans], dtype=np.int64)[:, None]
+        self._p3 = self.p[:, :, None]
+        self.R = 1 << (n.bit_length() - 1) // 2
+        self.C = n // self.R
+        assert max(self.R, self.C) <= 128, "four-step needs R, C <= 128"
+
+        def fold_split(mats: List[np.ndarray]):
+            """Stack per-limb int matrices into the (lo, hi) float pair:
+            ``lo = W mod p`` and ``hi = W * 2**15 mod p``."""
+            lo, hi = [], []
+            for mat, plan in zip(mats, plans):
+                lo.append(mat.astype(np.float64))
+                hi.append((mat << self._SPLIT) % plan.p)
+            return np.stack(lo), np.stack([h.astype(np.float64) for h in hi])
+
+        def dft_matrices(rows: int, root_power: int, invert: bool, fold_psi: str):
+            """Per-limb (rows x rows) DFT matrices; ``fold_psi`` scales
+            columns ("cols") or rows ("rows") by ``psi^(+-r*C)``."""
+            mats = []
+            for plan in plans:
+                p = plan.p
+                psi = int(plan._psi_pows[1])
+                omega = pow(psi, 2 * root_power, p)
+                if invert:
+                    omega = mod_inverse(omega, p)
+                exps = np.arange(rows, dtype=np.int64)
+                pows = self._powers(omega, rows, p)
+                mat = pows[exps[:, None] * exps[None, :] % rows]
+                if invert:
+                    mat = mat * mod_inverse(rows, p) % p
+                if fold_psi:
+                    base = psi if not invert else mod_inverse(psi, p)
+                    scale = self._powers(pow(base, self.C, p), rows, p)
+                    if fold_psi == "cols":
+                        mat = mat * scale[None, :] % p
+                    else:
+                        mat = mat * scale[:, None] % p
+                mats.append(mat)
+            return fold_split(mats)
+
+        def twiddles(invert: bool):
+            """``psi^(+-c) * omega^(+-s*c)`` — the inter-stage twiddle
+            with the column part of the negacyclic fold absorbed."""
+            mats = []
+            for plan in plans:
+                p = plan.p
+                psi = int(plan._psi_pows[1])
+                omega = pow(psi, 2, p)
+                if invert:
+                    psi = mod_inverse(psi, p)
+                    omega = mod_inverse(omega, p)
+                pows = self._powers(omega, n, p)
+                s = np.arange(self.R, dtype=np.int64)[:, None]
+                c = np.arange(self.C, dtype=np.int64)[None, :]
+                psi_c = self._powers(psi, self.C, p)[None, :]
+                mats.append(pows[s * c % n] * psi_c % p)
+            return np.stack(mats)
+
+        self._wr = dft_matrices(self.R, self.C, invert=False, fold_psi="cols")
+        self._wc = dft_matrices(self.C, self.R, invert=False, fold_psi="")
+        self._wr_inv = dft_matrices(self.R, self.C, invert=True, fold_psi="rows")
+        self._wc_inv = dft_matrices(self.C, self.R, invert=True, fold_psi="")
+        self._tw = twiddles(invert=False)
+        self._tw_inv = twiddles(invert=True)
+
+    @staticmethod
+    def _powers(base: int, count: int, p: int) -> np.ndarray:
+        out = np.empty(count, dtype=np.int64)
+        acc = 1
+        for i in range(count):
+            out[i] = acc
+            acc = acc * base % p
+        return out
+
+    def _mm_left(self, w: Tuple[np.ndarray, np.ndarray], x: np.ndarray) -> np.ndarray:
+        """``W @ x mod p``: 15-bit-split data against (lo, hi) matrices."""
+        lo, hi = w
+        acc = np.matmul(hi, (x >> self._SPLIT).astype(np.float64))
+        acc += np.matmul(lo, (x & self._MASK).astype(np.float64))
+        return acc.astype(np.int64) % self._p3
+
+    def _mm_right(self, x: np.ndarray, w: Tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+        lo, hi = w
+        acc = np.matmul((x >> self._SPLIT).astype(np.float64), hi)
+        acc += np.matmul((x & self._MASK).astype(np.float64), lo)
+        return acc.astype(np.int64) % self._p3
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """(n,) signed coefficients -> (k, n) digit-permuted transforms."""
+        a = (coeffs[None, :] % self.p).reshape(-1, self.R, self.C)
+        y = self._mm_left(self._wr, a)
+        y = y * self._tw % self._p3
+        z = self._mm_right(y, self._wc)
+        return z.reshape(-1, self.n)
+
+    def forward_pair(self, a: np.ndarray, b: np.ndarray):
+        """Both operands of a product through one batched matmul chain
+        (a fresh multiply transforms two polynomials; stacking them
+        doubles the dgemm batch instead of doubling the dispatches)."""
+        if not hasattr(self, "_pair_tables"):
+            tile = lambda t: np.concatenate([t, t])
+            self._pair_tables = (
+                tuple(tile(m) for m in self._wr),
+                tuple(tile(m) for m in self._wc),
+                tile(self._tw),
+                tile(self.p),
+                tile(self._p3),
+            )
+        wr, wc, tw, p2, p6 = self._pair_tables
+        k = self.p.shape[0]
+        x = np.empty((2 * k, self.n), dtype=np.int64)
+        np.mod(a[None, :], self.p, out=x[:k])
+        np.mod(b[None, :], self.p, out=x[k:])
+        x = x.reshape(-1, self.R, self.C)
+        lo, hi = wr
+        y = np.matmul(hi, (x >> self._SPLIT).astype(np.float64))
+        y += np.matmul(lo, (x & self._MASK).astype(np.float64))
+        y = y.astype(np.int64) % p6
+        y = y * tw % p6
+        lo, hi = wc
+        z = np.matmul((y >> self._SPLIT).astype(np.float64), hi)
+        z += np.matmul((y & self._MASK).astype(np.float64), lo)
+        z = (z.astype(np.int64) % p6).reshape(2, -1, self.n)
+        return z[0], z[1]
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        return self.inverse_reduced(values % self.p)
+
+    def inverse_reduced(self, values: np.ndarray) -> np.ndarray:
+        """Inverse for inputs already reduced to [0, p) per limb — the
+        shape the pointwise product emits."""
+        z = values.reshape(-1, self.R, self.C)
+        y = self._mm_right(z, self._wc_inv)
+        y = y * self._tw_inv % self._p3
+        a = self._mm_left(self._wr_inv, y)
+        return a.reshape(-1, self.n)
+
+
+#: four-step pays off once the matmuls amortize their setup; below this
+#: the stage-by-stage stacked butterflies win.
+_FOUR_STEP_MIN_N = 128
+_FOUR_STEP_MAX_N = 1 << 14
+
+
+class RnsBasis:
+    """NTT-prime limb basis for exact negacyclic products in ``R_q``.
+
+    The basis holds ``k`` distinct NTT-friendly primes just below 2**30
+    whose product exceeds twice the worst-case product coefficient
+    ``n * (q // 2)**2`` (operands are centered before decomposition), so
+    the integer convolution is recovered exactly from its residues.
+    When ``q`` itself is an NTT-friendly prime below 2**31 the basis
+    degenerates to the single native limb ``[q]`` and recombination is
+    the identity.  Transforms carry all limbs together as ``(k, n)``
+    matrices (:class:`_StackedNtt`).
+    """
+
+    def __init__(self, n: int, q: int):
+        self.n = n
+        self.q = q
+        self.native = _is_native_ntt_modulus(n, q)
+        if self.native:
+            self.primes: Tuple[int, ...] = (q,)
+            self.modulus = q
+        else:
+            bound = 2 * n * (q // 2) ** 2
+            count = 1
+            while True:
+                primes = find_ntt_primes(_LIMB_PRIME_BITS, n, count)
+                modulus = 1
+                for p in primes:
+                    modulus *= p
+                if modulus > bound:
+                    break
+                count += 1
+            self.primes = tuple(primes)
+            self.modulus = modulus
+            # Garner precomputation: prefix-product inverses, cross
+            # residues of earlier primes, mixed-radix digits of M // 2
+            # for the sign test, and the fold constants P_i mod q.
+            self._prefix_inv: List[int] = [0]
+            self._cross: List[Tuple[int, ...]] = [()]
+            prefix = 1
+            fold = []
+            for i, p in enumerate(self.primes):
+                if i:
+                    self._prefix_inv.append(mod_inverse(prefix % p, p))
+                    self._cross.append(
+                        tuple(pj % p for pj in self.primes[:i])
+                    )
+                fold.append(prefix % q)
+                prefix *= p
+            # Garner reductions of a previous digit (< p_{i-1}) into the
+            # next prime can use one conditional subtract instead of a
+            # division whenever p_{i-1} < 2 * p_i (always true for our
+            # near-2**30 prime clusters, but guarded anyway).
+            self._lazy_step = tuple(
+                i > 0 and self.primes[i - 1] < 2 * self.primes[i]
+                for i in range(len(self.primes))
+            )
+            self._fold_consts = tuple(fold)
+            self._m_mod_q = self.modulus % q
+            half = self.modulus // 2
+            half_digits = []
+            for p in self.primes:
+                half_digits.append(half % p)
+                half //= p
+            self._half_digits = tuple(half_digits)
+            # Power-of-two q (the paper's 2**32): q divides 2**64, so
+            # the digit fold can run in wrapping uint64 arithmetic and
+            # finish with a mask — no modular multiplies at all.
+            self._q_pow2_mask = None
+            if q & (q - 1) == 0:
+                self._q_pow2_mask = np.uint64(q - 1)
+                wrap = (1 << 64) - 1
+                prefix = 1
+                fold64 = []
+                for p in self.primes:
+                    fold64.append(np.uint64(prefix & wrap))
+                    prefix *= p
+                self._fold64 = tuple(fold64)
+                self._m64 = np.uint64(self.modulus & wrap)
+        # When the limb product also covers *uncentered* operands
+        # (|x| <= q-1 instead of q/2), the centering passes can be
+        # skipped entirely — reconstruction recovers the exact integer
+        # either way and both reduce to the same value mod q.  Native
+        # single-limb arithmetic is mod q itself, so centering never
+        # changes anything there.
+        self.center_needed = (
+            not self.native and self.modulus <= 2 * n * (q - 1) ** 2
+        )
+        self.plans = tuple(get_plan(n, p) for p in self.primes)
+        # The four-step float64 exactness bound needs every limb below
+        # 2**30 (partial sums <= 2**30 * 2**15 * 128 = 2**52): the RNS
+        # limbs always are, but a *native* prime modulus can reach 2**31
+        # and must take the stacked butterflies instead.
+        if _FOUR_STEP_MIN_N <= n <= _FOUR_STEP_MAX_N and max(self.primes) < (
+            1 << _LIMB_PRIME_BITS
+        ):
+            self._stacked = _FourStepNtt(self.plans)
+        else:
+            self._stacked = _StackedNtt(self.plans)
+
+    # -- transforms ------------------------------------------------------
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Forward negacyclic NTT of a (possibly signed) vector across
+        all limbs at once: ``(n,) -> (k, n)``."""
+        return self._stacked.forward(coeffs)
+
+    def forward_pair(self, a: np.ndarray, b: np.ndarray):
+        """Transform both operands of one product in a single batch."""
+        return self._stacked.forward_pair(a, b)
+
+    def pointwise(self, fa: np.ndarray, fb: np.ndarray) -> np.ndarray:
+        return fa * fb % self._stacked.p
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        return self._stacked.inverse(values)
+
+    # -- recombination ---------------------------------------------------
+
+    def combine_mod_q(self, residues) -> np.ndarray:
+        """CRT-reconstruct the centered integer vector and reduce mod q.
+
+        Garner's algorithm produces mixed-radix digits ``v_i < p_i``
+        (every intermediate fits int64: products are < 2**60), the sign
+        of the centered representative is read off by a vectorized
+        lexicographic compare against the digits of ``M // 2``, and the
+        digits are folded into ``[0, q)`` with :func:`mulmod_scalar`.
+        """
+        residues = np.asarray(residues)
+        if self.native:
+            return residues[0]
+        q = self.q
+        digits: List[np.ndarray] = [residues[0]]
+        for i in range(1, len(self.primes)):
+            p = self.primes[i]
+            cross = self._cross[i]
+            if self._lazy_step[i]:
+                acc = digits[i - 1]
+                acc = np.where(acc >= p, acc - p, acc)
+            else:
+                acc = digits[i - 1] % p
+            for j in range(i - 2, -1, -1):
+                acc = (acc * cross[j] + digits[j]) % p
+            t = residues[i] - acc  # both < p: one conditional fix-up
+            t = np.where(t < 0, t + p, t)
+            digits.append(t * self._prefix_inv[i] % p)
+
+        negative = np.zeros(self.n, dtype=bool)
+        undecided = np.ones(self.n, dtype=bool)
+        for i in range(len(self.primes) - 1, -1, -1):
+            h = self._half_digits[i]
+            negative |= undecided & (digits[i] > h)
+            undecided &= digits[i] == h
+
+        if self._q_pow2_mask is not None:
+            acc = np.zeros(self.n, dtype=np.uint64)
+            for digit, const in zip(digits, self._fold64):
+                acc += digit.astype(np.uint64) * const
+            acc -= np.where(negative, self._m64, np.uint64(0))
+            return (acc & self._q_pow2_mask).astype(np.int64)
+
+        out = np.zeros(self.n, dtype=np.int64)
+        for digit, const in zip(digits, self._fold_consts):
+            if const:
+                out = (
+                    out
+                    + mulmod_scalar(digit, const, q, vec_bits=_LIMB_PRIME_BITS)
+                ) % q
+        return np.where(negative, (out - self._m_mod_q) % q, out)
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Exact negacyclic product of two centered int64 vectors, mod q."""
+        fa, fb = self.forward_pair(a, b)
+        return self.combine_mod_q(
+            self._stacked.inverse_reduced(self.pointwise(fa, fb))
+        )
+
+
+@lru_cache(maxsize=32)
+def get_rns_basis(n: int, q: int) -> RnsBasis:
+    """Cached basis lookup — bases are shared across equal rings, which
+    also lets NTT caches survive between :class:`RingContext` instances
+    with the same ``(n, q)``."""
+    return RnsBasis(n, q)
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+class PolyBackend:
+    """Arithmetic strategy bound to one ``(n, q)`` pair.
+
+    Subclasses implement ``mul`` / ``scalar_mul`` / ``automorphism``;
+    the representation changes (``make`` / ``centered`` / ``lift_mod``)
+    are shared because both backends keep coefficients as int64 in
+    ``[0, q)`` (the 2**62 modulus cap guarantees the centered lift fits
+    int64 as well).
+    """
+
+    name = "abstract"
+
+    def __init__(self, n: int, q: int):
+        self.n = n
+        self.q = q
+        self._half = q // 2
+
+    # -- representation (shared, exact) ----------------------------------
+
+    def make(self, coeffs) -> np.ndarray:
+        """Reduce an arbitrary coefficient vector into int64 ``[0, q)``."""
+        arr = np.asarray(coeffs)
+        if arr.shape != (self.n,):
+            raise ValueError(
+                f"expected {self.n} coefficients, got shape {arr.shape}"
+            )
+        if arr.dtype == object:
+            # Vectorized big-int reduction (numpy loops in C over the
+            # Python ints); the quotients fit int64 once reduced.
+            return (arr % self.q).astype(np.int64)
+        return arr.astype(np.int64) % self.q
+
+    def centered(self, coeffs: np.ndarray) -> np.ndarray:
+        """Lift ``[0, q)`` to the centered interval ``(-q/2, q/2]``."""
+        return np.where(coeffs > self._half, coeffs - self.q, coeffs)
+
+    def lift_mod(self, coeffs: np.ndarray, new_modulus: int) -> np.ndarray:
+        lifted = self.centered(coeffs)
+        if new_modulus.bit_length() > 62:  # pragma: no cover - defensive
+            return (lifted.astype(object) % new_modulus).astype(np.int64)
+        return lifted % new_modulus
+
+    def center(self, coeffs: np.ndarray) -> np.ndarray:
+        """Alias used by the multiply pipelines."""
+        return self.centered(coeffs)
+
+    # -- arithmetic (backend-specific) ------------------------------------
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def mul_poly(self, a: "RingPoly", b: "RingPoly") -> np.ndarray:
+        """Polynomial-level multiply hook; lets caching backends stash
+        transform-domain representations on the operands."""
+        return self.mul(a.coeffs, b.coeffs)
+
+    def scalar_mul(self, coeffs: np.ndarray, scalar: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def automorphism(self, coeffs: np.ndarray, k: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self.n}, q={self.q})"
+
+
+class ReferenceBackend(PolyBackend):
+    """The repo's original exact path, kept as the parity oracle.
+
+    Multiplication and the per-index automorphism loop are verbatim the
+    pre-backend implementations; only provably-exact vectorizations are
+    applied (object-dtype numpy reductions instead of Python list
+    comprehensions, per the micro-benchmarks in ``bench_poly.py``).
+    """
+
+    name = "reference"
+
+    def __init__(self, n: int, q: int):
+        super().__init__(n, q)
+        self._plan = get_plan(n, q) if _is_native_ntt_modulus(n, q) else None
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if self._plan is not None:
+            return self._plan.multiply(a, b)
+        exact = exact_negacyclic_convolution(a, b)
+        return (exact % self.q).astype(np.int64)
+
+    def scalar_mul(self, coeffs: np.ndarray, scalar: int) -> np.ndarray:
+        q = self.q
+        scalar %= q
+        # int64 products overflow once the combined magnitude reaches 2**63.
+        if scalar.bit_length() + (q - 1).bit_length() < 63:
+            return coeffs * scalar % q
+        return (coeffs.astype(object) * scalar % q).astype(np.int64)
+
+    def automorphism(self, coeffs: np.ndarray, k: int) -> np.ndarray:
+        n, q = self.n, self.q
+        out = np.zeros(n, dtype=np.int64)
+        k = k % (2 * n)
+        for i in range(n):
+            target = i * k % (2 * n)
+            if target < n:
+                out[target] = (out[target] + coeffs[i]) % q
+            else:
+                out[target - n] = (out[target - n] - coeffs[i]) % q
+        return out
+
+
+class VectorizedBackend(PolyBackend):
+    """RNS/NTT arithmetic with no Python-int math on any hot path.
+
+    The limb basis is built lazily on the first multiply (plaintext
+    rings rarely multiply, and the prime search is the expensive part of
+    construction).  Forward limb transforms of the *centered* operand
+    are cached on the ``RingPoly`` under its ``_ntt`` slot, keyed by the
+    shared basis object, so a database polynomial or secret key is
+    transformed once per process no matter how many products it enters.
+    """
+
+    name = "vectorized"
+
+    def __init__(self, n: int, q: int):
+        super().__init__(n, q)
+        self._basis: RnsBasis | None = None
+        self._auto_tables: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    @property
+    def basis(self) -> RnsBasis:
+        if self._basis is None:
+            self._basis = get_rns_basis(self.n, self.q)
+        return self._basis
+
+    # -- multiply ---------------------------------------------------------
+
+    def _forward_cached(self, poly: "RingPoly") -> np.ndarray:
+        basis = self.basis
+        cache = poly._ntt
+        if cache is not None and cache[0] is basis:
+            return cache[1]
+        transforms = basis.forward(self._lift(poly.coeffs))
+        poly._ntt = (basis, transforms)
+        return transforms
+
+    def _lift(self, coeffs: np.ndarray) -> np.ndarray:
+        """Representation fed to the limb transforms: centered when the
+        basis bound requires it, raw [0, q) otherwise."""
+        return self.center(coeffs) if self.basis.center_needed else coeffs
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        basis = self.basis
+        return basis.multiply(self._lift(a), self._lift(b))
+
+    def mul_poly(self, a: "RingPoly", b: "RingPoly") -> np.ndarray:
+        basis = self.basis
+        a_cache, b_cache = a._ntt, b._ntt
+        if (a_cache is None or a_cache[0] is not basis) and (
+            b_cache is None or b_cache[0] is not basis
+        ) and a is not b:
+            fa, fb = basis.forward_pair(self._lift(a.coeffs), self._lift(b.coeffs))
+            a._ntt = (basis, fa)
+            b._ntt = (basis, fb)
+        else:
+            fa = self._forward_cached(a)
+            fb = self._forward_cached(b)
+        return basis.combine_mod_q(
+            basis._stacked.inverse_reduced(basis.pointwise(fa, fb))
+        )
+
+    # -- other ops --------------------------------------------------------
+
+    def scalar_mul(self, coeffs: np.ndarray, scalar: int) -> np.ndarray:
+        return mulmod_scalar(coeffs, scalar % self.q, self.q)
+
+    def automorphism(self, coeffs: np.ndarray, k: int) -> np.ndarray:
+        n, q = self.n, self.q
+        if k % 2 == 0:
+            # Even k is not a bijection mod 2n — the scatter below would
+            # silently leave uninitialized slots.
+            raise ValueError("Galois automorphisms require odd exponents")
+        k = k % (2 * n)
+        tables = self._auto_tables.get(k)
+        if tables is None:
+            # i -> i*k mod 2n is a bijection for odd k (gcd(k, 2n) = 1),
+            # and no two sources share a target mod n, so the scatter is
+            # a pure signed permutation — no accumulation needed.
+            idx = np.arange(n, dtype=np.int64) * k % (2 * n)
+            tables = (idx % n, idx >= n)
+            self._auto_tables[k] = tables
+        perm, negate = tables
+        values = np.where(negate, (q - coeffs) % q, coeffs)
+        out = np.empty(n, dtype=np.int64)
+        out[perm] = values
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Selection
+# ---------------------------------------------------------------------------
+
+BACKENDS = {
+    ReferenceBackend.name: ReferenceBackend,
+    VectorizedBackend.name: VectorizedBackend,
+}
+
+#: environment override consulted when no explicit choice was made.
+BACKEND_ENV_VAR = "REPRO_POLY_BACKEND"
+
+_default_backend: str | None = None
+
+
+def set_default_backend(name: str | None) -> None:
+    """Install a process-wide default (``None`` restores env/built-in)."""
+    global _default_backend
+    if name is not None and name not in BACKENDS:
+        raise ValueError(
+            f"unknown poly backend {name!r}; available: {sorted(BACKENDS)}"
+        )
+    _default_backend = name
+
+
+def get_default_backend() -> str:
+    if _default_backend is not None:
+        return _default_backend
+    env = os.environ.get(BACKEND_ENV_VAR)
+    if env:
+        if env not in BACKENDS:
+            raise ValueError(
+                f"{BACKEND_ENV_VAR}={env!r} is not a poly backend; "
+                f"available: {sorted(BACKENDS)}"
+            )
+        return env
+    return VectorizedBackend.name
+
+
+def resolve_backend(
+    spec: "str | PolyBackend | None", n: int, q: int
+) -> PolyBackend:
+    """Turn a backend name/instance/None into an instance bound to (n, q)."""
+    if isinstance(spec, PolyBackend):
+        if spec.n != n or spec.q != q:
+            raise ValueError(
+                f"backend {spec!r} is bound to (n={spec.n}, q={spec.q}), "
+                f"cannot serve (n={n}, q={q})"
+            )
+        return spec
+    name = spec if spec is not None else get_default_backend()
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown poly backend {name!r}; available: {sorted(BACKENDS)}"
+        ) from None
+    return cls(n, q)

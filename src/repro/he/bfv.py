@@ -95,12 +95,22 @@ class OperationCounter:
 class BFVContext:
     """All BFV algorithms for one parameter set."""
 
-    def __init__(self, params: BFVParams, seed: int | None = None):
+    def __init__(
+        self,
+        params: BFVParams,
+        seed: int | None = None,
+        backend: str | None = None,
+    ):
         self.params = params
-        self.ring = RingContext(params.n, params.q)
-        self.plain_ring = RingContext(params.n, params.t)
+        self.ring = RingContext(params.n, params.q, backend=backend)
+        self.plain_ring = RingContext(params.n, params.t, backend=backend)
         self._rng = np.random.default_rng(seed)
         self.counter = OperationCounter()
+
+    @property
+    def poly_backend(self) -> str:
+        """Name of the polynomial-arithmetic backend in use."""
+        return self.ring.backend_name
 
     # ------------------------------------------------------------------
     # Encoding (raw coefficient vectors; higher-level packing lives in
@@ -166,13 +176,12 @@ class BFVContext:
     def _scale_to_plaintext(self, phase: RingPoly) -> np.ndarray:
         q, t = self.params.q, self.params.t
         centered = phase.centered()
-        out = np.empty(self.params.n, dtype=np.int64)
-        for i, c in enumerate(centered):
-            # round(t * c / q); floor((x + q/2) / q) rounds to nearest
-            # for negative x as well.
-            rounded = (t * int(c) + q // 2) // q
-            out[i] = rounded % t
-        return out
+        # round(t * c / q); floor((x + q/2) / q) rounds to nearest for
+        # negative x as well (numpy // is floor division, like Python's).
+        if t.bit_length() + q.bit_length() <= 62:
+            return (t * centered + q // 2) // q % t
+        scaled = (t * centered.astype(object) + q // 2) // q % t
+        return scaled.astype(np.int64)
 
     # ------------------------------------------------------------------
     # Homomorphic operations
@@ -238,10 +247,9 @@ class BFVContext:
         return ct
 
     def _scale_round(self, exact_coeffs: np.ndarray, t: int, q: int) -> np.ndarray:
-        out = np.empty(len(exact_coeffs), dtype=object)
-        for i, c in enumerate(exact_coeffs):
-            out[i] = (t * int(c) + q // 2) // q % q
-        return out
+        # The tensor coefficients exceed int64, so this stays big-int —
+        # but vectorized through numpy's object loops, not Python's.
+        return (t * exact_coeffs.astype(object) + q // 2) // q % q
 
     def relinearize(self, ct: Ciphertext, rlk: RelinKey) -> Ciphertext:
         """Key-switch the ``c2 * s^2`` term back onto (c0, c1)."""
@@ -275,15 +283,11 @@ class BFVContext:
     ) -> list[RingPoly]:
         """Base-2**w digit decomposition of a polynomial's coefficients."""
         mask = (1 << base_bits) - 1
-        coeffs = poly.coeffs.astype(object)
-        digits = []
-        for i in range(num_digits):
-            digit = np.array(
-                [(int(c) >> (i * base_bits)) & mask for c in coeffs],
-                dtype=np.int64,
-            )
-            digits.append(self.ring.make(digit))
-        return digits
+        coeffs = poly.coeffs  # int64 in [0, q), q <= 2**62: shifts are exact
+        return [
+            self.ring.make((coeffs >> (i * base_bits)) & mask)
+            for i in range(num_digits)
+        ]
 
     # ------------------------------------------------------------------
     # Diagnostics
@@ -296,12 +300,9 @@ class BFVContext:
         if ct.c2 is not None:
             phase = phase + ct.c2 * (sk.s * sk.s)
         delta = self.params.delta
-        residual = 0
-        for c in phase.centered():
-            c = int(c)
-            nearest = round(c / delta) * delta
-            residual = max(residual, abs(c - nearest))
-        return residual
+        remainders = phase.centered() % delta  # numpy %: always in [0, delta)
+        distances = np.minimum(remainders, delta - remainders)
+        return int(np.max(distances)) if len(distances) else 0
 
     def noise_budget_bits(self, ct: Ciphertext, sk: SecretKey) -> float:
         """Remaining noise budget in bits (<= 0 means decryption may fail)."""

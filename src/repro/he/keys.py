@@ -66,9 +66,14 @@ class KeyGenerator:
     and the deterministic index-generation mode rely on.
     """
 
-    def __init__(self, params: BFVParams, seed: int | None = None):
+    def __init__(
+        self,
+        params: BFVParams,
+        seed: int | None = None,
+        backend: str | None = None,
+    ):
         self.params = params
-        self.ring = RingContext(params.n, params.q)
+        self.ring = RingContext(params.n, params.q, backend=backend)
         self._rng = np.random.default_rng(seed)
 
     def secret_key(self) -> SecretKey:
@@ -118,9 +123,10 @@ def generate_keys(
     *,
     relin: bool = False,
     galois_exponents: List[int] | None = None,
+    backend: str | None = None,
 ) -> Tuple[SecretKey, PublicKey, RelinKey | None, GaloisKey | None]:
     """One-call helper used throughout examples and tests."""
-    gen = KeyGenerator(params, seed)
+    gen = KeyGenerator(params, seed, backend=backend)
     sk = gen.secret_key()
     pk = gen.public_key(sk)
     rlk = gen.relin_key(sk) if relin else None

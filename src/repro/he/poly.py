@@ -1,15 +1,18 @@
 """Polynomial ring ``R_q = Z_q[X] / (X^n + 1)``.
 
-:class:`RingContext` owns the (n, q) pair and the multiplication
-strategy; :class:`RingPoly` is a thin immutable-ish wrapper over a numpy
-``int64`` coefficient vector reduced to ``[0, q)``.
+:class:`RingContext` owns the (n, q) pair and delegates arithmetic to a
+pluggable :class:`~repro.he.backend.PolyBackend`; :class:`RingPoly` is a
+thin immutable-ish wrapper over a numpy ``int64`` coefficient vector
+reduced to ``[0, q)``.
 
-Multiplication strategy:
+Backend selection (see :mod:`repro.he.backend` for the contract):
 
-* if ``q`` is an NTT-friendly prime below 2**31, products use a single
-  negacyclic NTT (fast path, used by the mult-heavy baselines);
-* otherwise (e.g. the paper's ``q = 2**32``) products use the exact
-  three-prime CRT convolution and reduce mod ``q``.
+* ``"vectorized"`` (default) — RNS/NTT multiplication with NumPy
+  butterflies and int64-safe CRT recombination; forward transforms are
+  cached on the polynomials so repeated products against the same
+  operand transform once.
+* ``"reference"`` — the original exact big-int path, kept as the
+  correctness oracle for the property-test harness.
 
 Coefficient moduli up to 2**62 are supported so that addition stays in
 int64 without overflow.
@@ -21,14 +24,15 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from .ntt import exact_negacyclic_convolution, get_plan
-from .primes import is_prime
+from .backend import PolyBackend, _is_native_ntt_modulus, resolve_backend
 
 
 class RingContext:
     """The ring ``Z_q[X]/(X^n+1)`` plus cached multiplication machinery."""
 
-    def __init__(self, n: int, q: int):
+    def __init__(
+        self, n: int, q: int, backend: "str | PolyBackend | None" = None
+    ):
         if n < 2 or n & (n - 1):
             raise ValueError(f"ring degree must be a power of two, got {n}")
         if q < 2:
@@ -37,25 +41,22 @@ class RingContext:
             raise ValueError("moduli above 2**62 are not supported")
         self.n = n
         self.q = q
-        self._ntt_plan = None
-        if q < (1 << 31) and is_prime(q) and (q - 1) % (2 * n) == 0:
-            self._ntt_plan = get_plan(n, q)
+        self.backend = resolve_backend(backend, n, q)
+        self._native_ntt = _is_native_ntt_modulus(n, q)
 
     @property
     def uses_ntt(self) -> bool:
-        return self._ntt_plan is not None
+        """True when ``q`` itself is NTT-friendly (single-limb products)."""
+        return self._native_ntt
+
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name
 
     # -- construction ---------------------------------------------------
 
     def make(self, coeffs: Sequence[int] | np.ndarray) -> "RingPoly":
-        arr = np.asarray(coeffs)
-        if arr.shape != (self.n,):
-            raise ValueError(f"expected {self.n} coefficients, got shape {arr.shape}")
-        if arr.dtype == object:
-            arr = np.array([int(c) % self.q for c in arr], dtype=np.int64)
-        else:
-            arr = arr.astype(np.int64) % self.q
-        return RingPoly(self, arr)
+        return RingPoly(self, self.backend.make(coeffs))
 
     def zero(self) -> "RingPoly":
         return RingPoly(self, np.zeros(self.n, dtype=np.int64))
@@ -96,10 +97,7 @@ class RingContext:
     # -- arithmetic helpers ---------------------------------------------
 
     def _mul_coeffs(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        if self._ntt_plan is not None:
-            return self._ntt_plan.multiply(a, b)
-        exact = exact_negacyclic_convolution(a, b)
-        return np.array([int(c) % self.q for c in exact], dtype=np.int64)
+        return self.backend.mul(a, b)
 
     def __eq__(self, other: object) -> bool:
         return (
@@ -110,17 +108,26 @@ class RingContext:
         return hash((self.n, self.q))
 
     def __repr__(self) -> str:
-        return f"RingContext(n={self.n}, q={self.q})"
+        return (
+            f"RingContext(n={self.n}, q={self.q}, "
+            f"backend={self.backend.name!r})"
+        )
 
 
 class RingPoly:
-    """An element of ``R_q``.  Treat instances as immutable."""
+    """An element of ``R_q``.  Treat instances as immutable.
 
-    __slots__ = ("ring", "coeffs")
+    ``_ntt`` holds the backend's cached transform-domain representation
+    (set lazily by the vectorized backend on first multiply); it is an
+    implementation detail and is never serialized or compared.
+    """
+
+    __slots__ = ("ring", "coeffs", "_ntt")
 
     def __init__(self, ring: RingContext, coeffs: np.ndarray):
         self.ring = ring
         self.coeffs = coeffs
+        self._ntt = None
 
     # -- ring operations -------------------------------------------------
 
@@ -140,23 +147,15 @@ class RingPoly:
         return RingPoly(self.ring, (-self.coeffs) % self.ring.q)
 
     def __mul__(self, other: "RingPoly | int") -> "RingPoly":
-        if isinstance(other, int):
-            return self.scalar_mul(other)
+        if isinstance(other, (int, np.integer)):
+            return self.scalar_mul(int(other))
         self._check(other)
-        return RingPoly(self.ring, self.ring._mul_coeffs(self.coeffs, other.coeffs))
+        return RingPoly(self.ring, self.ring.backend.mul_poly(self, other))
 
     __rmul__ = __mul__
 
     def scalar_mul(self, scalar: int) -> "RingPoly":
-        q = self.ring.q
-        scalar %= q
-        # int64 product overflows once the combined magnitude reaches 2**63.
-        if scalar.bit_length() + (q - 1).bit_length() < 63:
-            return RingPoly(self.ring, self.coeffs * scalar % q)
-        out = np.array(
-            [int(c) * scalar % q for c in self.coeffs], dtype=np.int64
-        )
-        return RingPoly(self.ring, out)
+        return RingPoly(self.ring, self.ring.backend.scalar_mul(self.coeffs, scalar))
 
     def shift(self, degree: int) -> "RingPoly":
         """Multiply by ``X^degree`` (negacyclic rotation of coefficients)."""
@@ -175,37 +174,26 @@ class RingPoly:
 
     def automorphism(self, k: int) -> "RingPoly":
         """Apply ``X -> X^k`` for odd ``k`` (a Galois automorphism of R_q)."""
-        n = self.ring.n
         if k % 2 == 0:
             raise ValueError("Galois automorphisms require odd exponents")
-        out = np.zeros(n, dtype=np.int64)
-        k = k % (2 * n)
-        for i in range(n):
-            target = i * k % (2 * n)
-            if target < n:
-                out[target] = (out[target] + self.coeffs[i]) % self.ring.q
-            else:
-                out[target - n] = (out[target - n] - self.coeffs[i]) % self.ring.q
-        return RingPoly(self.ring, out)
+        return RingPoly(self.ring, self.ring.backend.automorphism(self.coeffs, k))
 
     # -- representation changes -------------------------------------------
 
     def centered(self) -> np.ndarray:
-        """Coefficients lifted to the centered interval (-q/2, q/2] (object ints)."""
-        q = self.ring.q
-        half = q // 2
-        lifted = self.coeffs.astype(object)
-        return np.where(lifted > half, lifted - q, lifted)
+        """Coefficients lifted to the centered interval (-q/2, q/2].
+
+        int64 throughout — the 2**62 modulus cap keeps the lift exact.
+        """
+        return self.ring.backend.centered(self.coeffs)
 
     def lift_mod(self, new_modulus: int) -> np.ndarray:
         """Centered lift reduced into ``[0, new_modulus)`` (int64)."""
-        return np.array(
-            [int(c) % new_modulus for c in self.centered()], dtype=np.int64
-        )
+        return self.ring.backend.lift_mod(self.coeffs, new_modulus)
 
     def infinity_norm(self) -> int:
         """Max |coefficient| of the centered representative."""
-        return int(max(abs(int(c)) for c in self.centered()))
+        return int(np.max(np.abs(self.centered())))
 
     # -- misc --------------------------------------------------------------
 
@@ -232,9 +220,13 @@ class RingPoly:
 
 def poly_from_chunks(ring: RingContext, chunks: Iterable[int]) -> RingPoly:
     """Build a polynomial whose i-th coefficient is the i-th chunk value."""
+    values = list(chunks)
+    if len(values) > ring.n:
+        raise ValueError("more chunks than ring coefficients")
     coeffs = np.zeros(ring.n, dtype=np.int64)
-    for i, chunk in enumerate(chunks):
-        if i >= ring.n:
-            raise ValueError("more chunks than ring coefficients")
-        coeffs[i] = chunk % ring.q
+    if values:
+        # Object dtype keeps oversized chunk values exact (numpy would
+        # otherwise promote beyond-int64 Python ints to lossy float64).
+        reduced = np.array(values, dtype=object) % ring.q
+        coeffs[: len(values)] = reduced.astype(np.int64)
     return RingPoly(ring, coeffs)

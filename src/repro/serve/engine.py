@@ -30,7 +30,7 @@ from __future__ import annotations
 import queue as queue_mod
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -105,6 +105,12 @@ class ShardedSearchEngine:
         shards cannot help — shards serialize their own tasks).
     cache_capacity:
         Bound on the shared variant-ciphertext LRU cache.
+    poly_backend:
+        Polynomial-arithmetic backend for the HE layer ("vectorized" /
+        "reference"); applied when the engine builds its own client from
+        ``config``.  The vectorized backend is what lets decode — one
+        ``c1 * s`` negacyclic multiply per result block — keep up with
+        the concurrent Hom-Add stage (see ``docs/backends.md``).
     """
 
     def __init__(
@@ -117,11 +123,19 @@ class ShardedSearchEngine:
         max_workers: Optional[int] = None,
         cache_capacity: int = 256,
         scheduler: Optional[ServeScheduler] = None,
+        poly_backend: Optional[str] = None,
     ):
         if client is None:
             if config is None:
                 raise ValueError("provide a ClientConfig or a client")
+            if poly_backend is not None and config.poly_backend != poly_backend:
+                config = replace(config, poly_backend=poly_backend)
             client = CipherMatchClient(config)
+        elif poly_backend is not None and client.ctx.poly_backend != poly_backend:
+            raise ValueError(
+                "poly_backend conflicts with the supplied client's backend "
+                f"({client.ctx.poly_backend!r} != {poly_backend!r})"
+            )
         self.client = client
         self.config = client.config
         if num_shards < 1:

@@ -202,3 +202,50 @@ class TestRepresentation:
         b = a.copy()
         b.coeffs[0] = 99
         assert int(a.coeffs[0]) == 0
+
+
+class TestWideModulusVectorization:
+    """Pin the exact semantics of scalar_mul / make above the int64-safe
+    product threshold (q > 2**32): both the reference object-dtype path
+    and the vectorized int64 kernels must equal plain Python-int math."""
+
+    WIDE_Q = (1 << 40) + 123
+
+    @pytest.fixture(scope="class", params=["reference", "vectorized"])
+    def wide_ring(self, request):
+        return RingContext(16, self.WIDE_Q, backend=request.param)
+
+    def test_scalar_mul_wide_scalar(self, wide_ring):
+        q = wide_ring.q
+        values = [q - 1, q // 2, 1, 0, 123456789] + list(range(11))
+        poly = wide_ring.make(values)
+        scalar = q - 7  # 41-bit scalar x 41-bit coefficients: > 2**63
+        got = poly.scalar_mul(scalar)
+        expected = [v % q * scalar % q for v in values]
+        assert got.coeffs.dtype == np.int64
+        assert [int(c) for c in got.coeffs] == expected
+
+    def test_scalar_mul_small_scalar_stays_direct(self, wide_ring):
+        poly = wide_ring.make(list(range(16)))
+        got = poly.scalar_mul(3)
+        assert [int(c) for c in got.coeffs] == [3 * v for v in range(16)]
+
+    def test_make_object_input(self, wide_ring):
+        q = wide_ring.q
+        big = [(1 << 90) + i for i in range(16)]
+        poly = wide_ring.make(np.array(big, dtype=object))
+        assert poly.coeffs.dtype == np.int64
+        assert [int(c) for c in poly.coeffs] == [b % q for b in big]
+
+    def test_make_negative_input(self, wide_ring):
+        poly = wide_ring.make([-1] * 16)
+        assert all(int(c) == wide_ring.q - 1 for c in poly.coeffs)
+
+    def test_centered_is_int64_and_exact(self, wide_ring):
+        q = wide_ring.q
+        poly = wide_ring.make([0, 1, q - 1, q // 2, q // 2 + 1] + [0] * 11)
+        centered = poly.centered()
+        assert centered.dtype == np.int64
+        assert int(centered[2]) == -1
+        assert int(centered[3]) == q // 2  # boundary stays positive
+        assert int(centered[4]) == q // 2 + 1 - q
