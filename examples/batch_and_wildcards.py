@@ -1,25 +1,24 @@
-"""Batched queries and wildcard patterns — the extension features.
+"""Batched queries and wildcard patterns through the unified API.
 
-* :class:`repro.core.BatchSearcher` runs the Figure-9/12-style query
-  batches with query deduplication.
-* :class:`repro.core.WildcardSearcher` matches patterns with don't-care
-  bytes using only Hom-Add sweeps (one per literal segment).
+* ``Session.submit_batch`` queues the Figure-9/12-style query batches
+  asynchronously: futures resolve in submission order while the sharded
+  serve layer deduplicates and caches variant ciphertexts underneath.
+* A ``WildcardSearch`` request matches patterns with don't-care bytes
+  using only Hom-Add sweeps (one per literal segment) — the join is
+  shared by every wildcard-capable engine.
 
 Run:  python examples/batch_and_wildcards.py
 """
 
-import numpy as np
+import re
 
-from repro.core import (
-    BatchSearcher,
-    ClientConfig,
-    SecureStringMatchPipeline,
-    WildcardPattern,
-    WildcardSearcher,
-)
+import repro
+from repro.api import BatchSearch, WildcardSearch
 from repro.he import BFVParams
 from repro.utils.bits import text_to_bits
 from repro.workloads import DatabaseWorkloadGenerator
+
+PARAMS = BFVParams.test_small(64)
 
 
 def batched_lookups() -> None:
@@ -28,19 +27,35 @@ def batched_lookups() -> None:
     db = gen.generate(num_records=16, key_bytes=8, value_bytes=8)
     mix = gen.query_mix(db, num_queries=30, hit_fraction=0.7)
 
-    searcher = BatchSearcher(
-        SecureStringMatchPipeline(ClientConfig(BFVParams.test_small(64), key_seed=78))
-    )
-    searcher.outsource(db.flatten_bits())
-    report = searcher.search_batch([db.key_bits(k) for k in mix.keys])
-    print(
-        f"{report.num_queries} queries ({len(set(mix.keys))} distinct, "
-        f"{searcher.deduplicated_hits} served from the batch cache)"
-    )
-    print(
-        f"total Hom-Adds: {report.total_hom_additions}; queries with hits: "
-        f"{report.queries_with_matches}/{report.num_queries}"
-    )
+    with repro.open_session(
+        "bfv-sharded",
+        params=PARAMS,
+        num_shards=2,
+        key_seed=78,
+        db_bits=db.flatten_bits(),
+    ) as session:
+        # One typed request for the whole batch -> native execution on
+        # the serve worker pool, duplicates deduplicated.
+        report = session.search(
+            BatchSearch.from_bit_arrays([db.key_bits(k) for k in mix.keys])
+        )
+        print(
+            f"{report.num_queries} queries ({len(set(mix.keys))} distinct, "
+            f"{report.deduplicated_hits} deduplicated in the serve layer)"
+        )
+        hits = sum(1 for r in report.results if r.num_matches)
+        print(
+            f"total Hom-Adds: {report.total_hom_ops}; queries with hits: "
+            f"{hits}/{report.num_queries}"
+        )
+
+        # The same batch, submitted asynchronously: one future per query,
+        # resolving in submission order.
+        futures = session.submit_batch([db.key_bits(k) for k in mix.keys[:5]])
+        print("async resubmission of the first 5 keys:")
+        for key, future in zip(mix.keys[:5], futures):
+            result = future.result()
+            print(f"  key {key!r}: {result.num_matches} match(es)")
 
 
 def wildcard_search() -> None:
@@ -49,28 +64,23 @@ def wildcard_search() -> None:
         "log: user alice logged in; user bob logged in; "
         "user carol logged out; user dave logged in; "
     )
-    db = text_to_bits(text)
-    pipe = SecureStringMatchPipeline(
-        ClientConfig(BFVParams.test_small(64), key_seed=79)
-    )
-    pipe.outsource_database(db)
-    searcher = WildcardSearcher(pipe)
+    with repro.open_session(
+        "bfv", params=PARAMS, key_seed=79, db_bits=text_to_bits(text)
+    ) as session:
+        pattern = WildcardSearch.from_text("logged ??")
+        result = session.search(pattern)
+        print(
+            f"pattern 'logged ??': {pattern.literal_bits} literal bits, "
+            f"{pattern.num_bits - pattern.literal_bits} wildcard bits, "
+            f"{result.hom_ops.additions} Hom-Adds executed"
+        )
+        for off in result.matches:
+            char = off // 8
+            print(f"  match at char {char:3d}: ...{text[char:char+12]!r}...")
 
-    pattern = WildcardPattern.from_text("logged ??")
-    print(
-        f"pattern 'logged ??': {pattern.num_segments} literal segment(s), "
-        f"{pattern.wildcard_bits} wildcard bits, "
-        f"{searcher.hom_additions_for(pattern)} Hom-Adds predicted"
-    )
-    matches = searcher.search(pattern)
-    for off in matches:
-        char = off // 8
-        print(f"  match at char {char:3d}: ...{text[char:char+12]!r}...")
-    import re
-
-    expected = [8 * m.start() for m in re.finditer(r"logged ..", text)]
-    assert matches == expected
-    print("verified against regex.")
+        expected = [8 * m.start() for m in re.finditer(r"logged ..", text)]
+        assert list(result.matches) == expected
+        print("verified against regex.")
 
 
 if __name__ == "__main__":

@@ -1,17 +1,19 @@
-"""Quickstart: secure exact string matching with CIPHERMATCH.
+"""Quickstart: secure exact string matching through the unified API.
 
-A client packs and encrypts a small database with the memory-efficient
-packing scheme, outsources it, and searches for a pattern using only
-homomorphic additions.
+One ``repro.open_session`` call owns key generation, database packing +
+encryption, and outsourcing; the session then answers typed search
+requests.  Swap the engine key ("bfv" -> "bfv-sharded" -> "yasuda" ->
+"plaintext") to run the identical workload on any registered matcher.
 
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
+import re
 
-from repro.core import ClientConfig, SecureStringMatchPipeline
+import repro
+from repro.api import ExactSearch
 from repro.he import BFVParams
-from repro.utils.bits import bytes_to_bits, text_to_bits
+from repro.utils.bits import text_to_bits
 
 
 def main() -> None:
@@ -29,33 +31,36 @@ def main() -> None:
     db_bits = text_to_bits(text)
     print(f"database: {len(text)} chars = {len(db_bits)} bits")
 
-    pipeline = SecureStringMatchPipeline(ClientConfig(params, key_seed=2024))
-    encrypted = pipeline.outsource_database(db_bits)
-    print(
-        f"encrypted database: {encrypted.num_polynomials} ciphertexts, "
-        f"{encrypted.serialized_bytes} bytes "
-        f"({encrypted.serialized_bytes / (len(db_bits) // 8):.1f}x expansion)"
-    )
-
-    # Search for a word.  ASCII occurrences sit at byte offsets, i.e.
-    # bit phases 0/8 — well inside the detectable range for a 4-byte+
-    # pattern.
-    for needle in ("fox", "lazy dog", "sixteen bits", "not present"):
-        query_bits = bytes_to_bits(needle.encode("ascii"))
-        report = pipeline.search(query_bits)
-        positions = [off // 8 for off in report.matches]
+    with repro.open_session(
+        "bfv", params=params, key_seed=2024, db_bits=db_bits
+    ) as session:
         print(
-            f"search {needle!r:18s} -> {report.num_matches} match(es) at char "
-            f"offsets {positions[:6]}{'...' if len(positions) > 6 else ''} "
-            f"[{report.hom_additions} Hom-Adds, 0 Hom-Mults]"
+            f"engine {session.engine_key!r} "
+            f"(scheme {session.capabilities.scheme}), database outsourced: "
+            f"{session.db_bit_length} encrypted bits"
         )
 
-    # Verify against plain Python as a sanity check.
-    assert [m.start() for m in __import__("re").finditer("fox", text)] == [
-        off // 8
-        for off in pipeline.search(bytes_to_bits(b"fox")).matches
-    ]
-    print("verified against plaintext search.")
+        # Search for words.  ASCII occurrences sit at byte offsets, i.e.
+        # bit phases 0/8 — well inside the detectable range for a
+        # 4-byte+ pattern.
+        for needle in ("fox", "lazy dog", "sixteen bits", "not present"):
+            result = session.search(ExactSearch.from_text(needle))
+            positions = [off // 8 for off in result.matches]
+            print(
+                f"search {needle!r:18s} -> {result.num_matches} match(es) at "
+                f"char offsets {positions[:6]}"
+                f"{'...' if len(positions) > 6 else ''} "
+                f"[{result.hom_ops.additions} Hom-Adds, "
+                f"{result.hom_ops.multiplications} Hom-Mults, "
+                f"{result.elapsed_seconds * 1e3:.0f} ms]"
+            )
+
+        # Verify against plain Python as a sanity check.
+        secure = [
+            off // 8 for off in session.search(ExactSearch.from_text("fox")).matches
+        ]
+        assert [m.start() for m in re.finditer("fox", text)] == secure
+        print("verified against plaintext search.")
 
 
 if __name__ == "__main__":

@@ -1,20 +1,21 @@
-"""Concurrent sharded query serving — the production-scale layer.
+"""Concurrent sharded query serving — the production-scale layer,
+driven through the unified API.
 
 The encrypted database is split across four shards, each with its own
 addition backend, and a worker pool executes a deduplicated query batch
 across all shards concurrently.  Results are merged with global offsets
 (one planted occurrence deliberately straddles a shard boundary) and
-cross-checked against the sequential pipeline and the plaintext oracle.
+cross-checked against the plaintext oracle — which is just another
+registered engine behind the same facade.
 
 Run:  python examples/sharded_serving.py
 """
 
 import numpy as np
 
-from repro.baselines import find_all_matches
-from repro.core import ClientConfig, SecureStringMatchPipeline
+import repro
+from repro.api import BatchSearch
 from repro.he import BFVParams
-from repro.serve import ShardedSearchEngine
 from repro.utils.bits import random_bits
 
 PARAMS = BFVParams.test_small(64)
@@ -39,24 +40,27 @@ def main() -> None:
     queries += queries[:2]  # repeated keys exercise deduplication
 
     print("=== sharded concurrent serving (4 shards) ===")
-    engine = ShardedSearchEngine(
-        ClientConfig(PARAMS, key_seed=22), num_shards=4, cache_capacity=128
-    )
-    engine.outsource(db)
-    report = engine.search_batch(queries)
-    print(report.summary_table())
-    print()
-    print(report.shard_table())
+    with repro.open_session(
+        "bfv-sharded",
+        params=PARAMS,
+        num_shards=4,
+        key_seed=22,
+        cache_capacity=128,
+        db_bits=db,
+    ) as session:
+        batch = session.search(BatchSearch.from_bit_arrays(queries))
+        serve_report = session.engine.last_serve_report
+        print(serve_report.summary_table())
+        print()
+        print(serve_report.shard_table())
 
     print("\n=== cross-checks ===")
-    pipe = SecureStringMatchPipeline(ClientConfig(PARAMS, key_seed=22))
-    pipe.outsource_database(db)
-    for q, matches in zip(queries, report.matches_per_query()):
-        assert matches == pipe.search(q).matches
-        assert matches == find_all_matches(db, q)
-    print("sharded == sequential pipeline == plaintext oracle for "
-          f"{report.num_queries} queries ({report.deduplicated_hits} deduplicated)")
-    straddle_offsets = report.matches_per_query()[4]
+    with repro.open_session("plaintext", db_bits=db) as oracle:
+        for q, result in zip(queries, batch.results):
+            assert list(result.matches) == list(oracle.search(q).matches)
+    print("sharded engine == plaintext oracle for "
+          f"{batch.num_queries} queries ({batch.deduplicated_hits} deduplicated)")
+    straddle_offsets = list(batch.results[4].matches)
     print(f"boundary-straddling occurrence found at bit offset {straddle_offsets}")
 
 

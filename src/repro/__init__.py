@@ -29,23 +29,29 @@ Subpackages
 ``repro.workloads``
     DNA string matching and encrypted database search case studies.
 
+``repro.api``
+    The unified facade over all of the above: typed search requests,
+    an engine registry (core BFV, sharded serving, every baseline) and
+    a session layer with sync + future-based async execution.
+
 Quickstart
 ----------
->>> import numpy as np
->>> from repro.he import BFVParams
->>> from repro.core import ClientConfig, SecureStringMatchPipeline
->>> pipe = SecureStringMatchPipeline(ClientConfig(BFVParams.test_small(64)))
->>> db = np.zeros(640, dtype=np.uint8); db[160:168] = 1
->>> _ = pipe.outsource_database(db)
->>> pipe.search(np.ones(8, dtype=np.uint8)).matches
-[160]
+>>> import numpy as np, repro
+>>> db = np.zeros(640, dtype=np.uint8); db[160:192] = 1
+>>> with repro.open_session("bfv", db_bits=db) as session:
+...     session.search(np.ones(32, dtype=np.uint8)).matches
+(160,)
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from . import baselines, core, eval, flash, he, ndp, ssd, tfhe, workloads  # noqa: F401
+from . import api  # noqa: F401  (depends on the subpackages above)
+from .api import open_session  # noqa: F401
+from .verify import VerifyPolicy  # noqa: F401
 
 __all__ = [
+    "api",
     "baselines",
     "core",
     "eval",
@@ -55,5 +61,7 @@ __all__ = [
     "ssd",
     "tfhe",
     "workloads",
+    "open_session",
+    "VerifyPolicy",
     "__version__",
 ]

@@ -1,46 +1,117 @@
-"""Command-line entry point.
+"""Command-line entry point (argparse subcommands).
 
-    python -m repro demo       # quick end-to-end secure-search demo
-    python -m repro figures    # print every paper figure/table
-    python -m repro figures figure10
-    python -m repro selftest   # fast functional self-check
-    python -m repro readmap    # secure DNA read-mapping demo
-    python -m repro tfhe       # bootstrapped-gate demo (real TFHE)
-    python -m repro queueing   # SSD queueing-model cross-check
-    python -m repro serve      # sharded concurrent query-serving demo
+    python -m repro demo               # quick end-to-end secure-search demo
+    python -m repro search --engine bfv-sharded --db-text "..." --query fox
+    python -m repro figures [NAME]     # print paper figures/tables
+    python -m repro selftest           # fast functional self-check
+    python -m repro readmap            # secure DNA read-mapping demo
+    python -m repro tfhe               # bootstrapped-gate demo (real TFHE)
+    python -m repro queueing           # SSD queueing-model cross-check
+    python -m repro serve              # sharded concurrent serving demo
+
+Every subcommand has ``--help``; ``search`` talks to the unified
+:mod:`repro.api` facade, so ``--engine``/``--shards``/``--poly-backend``
+map directly onto registry keys and engine kwargs.
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
+from typing import Optional, Sequence
 
 import numpy as np
 
 
-def _demo() -> int:
-    from repro.core import ClientConfig, SecureStringMatchPipeline
-    from repro.he import BFVParams
+def _demo(args: argparse.Namespace) -> int:
+    import repro
     from repro.utils.bits import random_bits
 
     rng = np.random.default_rng(0)
     db = random_bits(4000, rng)
     query = random_bits(32, rng)
     db[1600:1632] = query
-    pipe = SecureStringMatchPipeline(ClientConfig(BFVParams.test_small(64)))
-    pipe.outsource_database(db)
-    report = pipe.search(query)
+    with repro.open_session(
+        "bfv", poly_backend=args.poly_backend, db_bits=db
+    ) as session:
+        result = session.search(query)
     print(
         f"secure search over {len(db)} encrypted bits: "
-        f"{report.num_matches} match at {report.matches} "
-        f"({report.hom_additions} Hom-Adds, 0 Hom-Mults)"
+        f"{result.num_matches} match at {list(result.matches)} "
+        f"({result.hom_ops.additions} Hom-Adds, "
+        f"{result.hom_ops.multiplications} Hom-Mults)"
     )
     return 0
 
 
-def _selftest() -> int:
+def _search(args: argparse.Namespace) -> int:
+    import repro
+    from repro.api import (
+        DEFAULT_REGISTRY,
+        CapabilityError,
+        ExactSearch,
+        UnknownEngineError,
+    )
+    from repro.utils.bits import text_to_bits
+
+    if args.list_engines:
+        print(DEFAULT_REGISTRY.capability_matrix())
+        return 0
+    if args.query is None:
+        print("error: --query is required (or use --list-engines)")
+        return 2
+
+    engine_kwargs = {}
+    try:
+        spec = DEFAULT_REGISTRY.spec(args.engine)
+    except UnknownEngineError as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.shards is not None:
+        if not spec.capabilities.sharded:
+            print(f"error: engine {args.engine!r} is not sharded")
+            return 2
+        engine_kwargs["num_shards"] = args.shards
+    if args.poly_backend is not None:
+        engine_kwargs["poly_backend"] = args.poly_backend
+    if args.key_seed is not None and args.engine != "plaintext":
+        # every HE engine takes a seed under one of these names
+        engine_kwargs["key_seed" if args.engine.startswith("bfv") else "seed"] = (
+            args.key_seed
+        )
+
+    db_bits = text_to_bits(args.db_text)
+    request = ExactSearch.from_text(
+        args.query,
+        verify=repro.VerifyPolicy.SKIP if args.no_verify else repro.VerifyPolicy.AUTO,
+    )
+    try:
+        with repro.open_session(
+            args.engine, db_bits=db_bits, **engine_kwargs
+        ) as session:
+            result = session.search(request)
+    except (CapabilityError, TypeError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    chars = [off // 8 for off in result.matches if off % 8 == 0]
+    print(
+        f"engine {result.engine!r} (scheme {result.scheme}): "
+        f"{result.num_matches} match(es) at bit offsets "
+        f"{list(result.matches)} (char offsets {chars})"
+    )
+    print(
+        f"hom ops: {result.hom_ops.additions} add, "
+        f"{result.hom_ops.multiplications} mult, "
+        f"{result.hom_ops.bootstraps} bootstrap; "
+        f"{result.elapsed_seconds * 1e3:.1f} ms"
+        + (f"; {len(result.shards)} shards" if result.shards else "")
+    )
+    return 0
+
+
+def _selftest(args: argparse.Namespace) -> int:
+    import repro
+    from repro.api import PipelineEngine
     from repro.baselines import find_all_matches
-    from repro.core import ClientConfig, SecureStringMatchPipeline
-    from repro.he import BFVParams
     from repro.ssd import IFPAdditionBackend
     from repro.utils.bits import random_bits
 
@@ -48,11 +119,9 @@ def _selftest() -> int:
     db = random_bits(2000, rng)
     q = random_bits(32, rng)
     db[480:512] = q
-    pipe = SecureStringMatchPipeline(ClientConfig(BFVParams.test_small(64)))
-    backend = IFPAdditionBackend(pipe.client.ctx)
-    pipe.server.engine.backend = backend
-    pipe.outsource_database(db)
-    got = pipe.search(q).matches
+    engine = PipelineEngine(addition_backend=lambda ctx: IFPAdditionBackend(ctx))
+    with repro.open_session(engine, db_bits=db) as session:
+        got = list(session.search(q).matches)
     expected = find_all_matches(db, q)
     ok = got == expected
     print(f"in-flash secure search selftest: {'OK' if ok else 'FAIL'} "
@@ -60,7 +129,7 @@ def _selftest() -> int:
     return 0 if ok else 1
 
 
-def _readmap() -> int:
+def _readmap(args: argparse.Namespace) -> int:
     from repro.core import ClientConfig
     from repro.he import BFVParams
     from repro.workloads import DnaWorkloadGenerator, SecureReadMapper
@@ -85,7 +154,7 @@ def _readmap() -> int:
     return 0 if ok == len(workload.reads) else 1
 
 
-def _tfhe() -> int:
+def _tfhe(args: argparse.Namespace) -> int:
     from repro.tfhe import TFHEContext, TFHEParams
     from repro.tfhe.circuits import TfheArithmetic
 
@@ -102,7 +171,7 @@ def _tfhe() -> int:
     return 0 if total == a + b else 1
 
 
-def _queueing() -> int:
+def _queueing(args: argparse.Namespace) -> int:
     from repro.flash.cell_array import FlashGeometry
     from repro.flash.timing import FlashTimings
     from repro.ssd.queueing import simulate_cm_search
@@ -118,10 +187,10 @@ def _queueing() -> int:
     return 0
 
 
-def _serve() -> int:
+def _serve(args: argparse.Namespace) -> int:
+    import repro
     from repro.core import ClientConfig, SecureStringMatchPipeline
     from repro.he import BFVParams
-    from repro.serve import ShardedSearchEngine
     from repro.utils.bits import random_bits
 
     rng = np.random.default_rng(7)
@@ -134,18 +203,25 @@ def _serve() -> int:
         off = 16 * (3 + 29 * k)
         db[off : off + 32] = q
         queries.append(q)
-    # one occurrence straddling the boundary between shards 1 and 2
+    # one occurrence straddling the middle of the database — a shard
+    # boundary for every even shard count dividing the 8 polynomials
     straddle = random_bits(32, rng)
-    boundary = 2 * 2 * bits_per_poly  # shard size = 2 polys at 4 shards
+    boundary = 4 * bits_per_poly
     db[boundary - 16 : boundary + 16] = straddle
     queries.append(straddle)
     queries += queries[:2]  # repeats exercise deduplication
 
-    engine = ShardedSearchEngine(
-        ClientConfig(params, key_seed=11), num_shards=4, cache_capacity=128
-    )
-    engine.outsource(db)
-    report = engine.search_batch(queries)
+    with repro.open_session(
+        "bfv-sharded",
+        params=params,
+        num_shards=args.shards,
+        key_seed=11,
+        cache_capacity=128,
+        poly_backend=args.poly_backend,
+        db_bits=db,
+    ) as session:
+        session.search_batch(queries)
+        report = session.engine.last_serve_report
 
     pipe = SecureStringMatchPipeline(ClientConfig(params, key_seed=11))
     pipe.outsource_database(db)
@@ -163,27 +239,123 @@ def _serve() -> int:
     return 0 if identical else 1
 
 
-def main(argv: list[str] | None = None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    command = argv[0] if argv else "demo"
-    if command == "demo":
-        return _demo()
-    if command == "selftest":
-        return _selftest()
-    if command == "readmap":
-        return _readmap()
-    if command == "tfhe":
-        return _tfhe()
-    if command == "queueing":
-        return _queueing()
-    if command == "serve":
-        return _serve()
-    if command == "figures":
-        from repro.eval.runner import main as figures_main
+def _figures(args: argparse.Namespace) -> int:
+    from repro.eval.runner import main as figures_main
 
-        return figures_main(argv[1:])
-    print(__doc__)
-    return 2
+    return figures_main(args.names)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="CIPHERMATCH reproduction — secure exact string "
+        "matching over homomorphic encryption.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p_demo = sub.add_parser("demo", help="quick end-to-end secure-search demo")
+    p_demo.add_argument(
+        "--poly-backend",
+        choices=["vectorized", "reference"],
+        help="polynomial-arithmetic backend (default: process default)",
+    )
+    p_demo.set_defaults(func=_demo)
+
+    p_search = sub.add_parser(
+        "search",
+        help="search an ASCII database with any registered engine",
+        description="Run one secure search through the unified repro.api "
+        "facade. --engine selects a registry key; use --list-engines for "
+        "the capability matrix.",
+    )
+    p_search.add_argument(
+        "--engine",
+        default="bfv",
+        help="engine registry key (default: bfv; see --list-engines)",
+    )
+    p_search.add_argument(
+        "--db-text",
+        default=(
+            "the quick brown fox jumps over the lazy dog -- "
+            "pack sixteen bits per coefficient and add away! "
+        ),
+        help="ASCII database contents",
+    )
+    p_search.add_argument("--query", help="ASCII needle to search for")
+    p_search.add_argument(
+        "--shards", type=int, help="shard count (sharded engines only)"
+    )
+    p_search.add_argument(
+        "--poly-backend", choices=["vectorized", "reference"],
+        help="polynomial-arithmetic backend",
+    )
+    p_search.add_argument(
+        "--key-seed", type=int, help="deterministic key generation seed"
+    )
+    p_search.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the client-side verification step",
+    )
+    p_search.add_argument(
+        "--list-engines", action="store_true",
+        help="print the engine capability matrix and exit",
+    )
+    p_search.set_defaults(func=_search)
+
+    p_figures = sub.add_parser(
+        "figures", help="print reproduced paper figures/tables"
+    )
+    p_figures.add_argument(
+        "names", nargs="*", help="figure names (default: all)"
+    )
+    p_figures.set_defaults(func=_figures)
+
+    p_selftest = sub.add_parser(
+        "selftest", help="fast functional self-check (simulated in-flash)"
+    )
+    p_selftest.set_defaults(func=_selftest)
+
+    p_readmap = sub.add_parser(
+        "readmap", help="secure DNA read-mapping demo"
+    )
+    p_readmap.set_defaults(func=_readmap)
+
+    p_tfhe = sub.add_parser(
+        "tfhe", help="bootstrapped-gate demo (real TFHE)"
+    )
+    p_tfhe.set_defaults(func=_tfhe)
+
+    p_queueing = sub.add_parser(
+        "queueing", help="SSD queueing-model cross-check"
+    )
+    p_queueing.set_defaults(func=_queueing)
+
+    p_serve = sub.add_parser(
+        "serve", help="sharded concurrent query-serving demo"
+    )
+    p_serve.add_argument(
+        "--shards", type=int, default=4, help="shard count (default: 4)"
+    )
+    p_serve.add_argument(
+        "--poly-backend", choices=["vectorized", "reference"],
+        help="polynomial-arithmetic backend",
+    )
+    p_serve.set_defaults(func=_serve)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits on --help / unknown commands; callers (and the
+        # CLI tests) expect an exit code back instead.
+        return int(exc.code or 0)
+    if args.command is None:
+        args = parser.parse_args(["demo"])
+    return args.func(args)
 
 
 if __name__ == "__main__":

@@ -1,21 +1,26 @@
-"""Batched query execution.
+"""Batched query execution (deprecated shim).
 
 The Figure 9/12 workloads issue 1000 queries against one encrypted
-database.  :class:`BatchSearcher` keeps the historical batch API but now
-executes on top of :class:`repro.serve.ShardedSearchEngine`: queries are
-deduplicated, variant ciphertexts flow through the serving layer's
-bounded LRU cache (the old unbounded per-batch dict is gone), and the
-full serving metrics of the last batch are available as
-:attr:`BatchSearcher.last_serve_report`.
+database.  :class:`BatchSearcher` keeps the historical batch API but is
+now a thin shim over the unified :mod:`repro.api` facade: batches are
+submitted as one :class:`repro.api.BatchSearch` to a
+:class:`repro.api.ShardedEngine` session, which routes them through the
+serve worker pool, the bounded LRU variant cache and deduplication.
+New code should open the facade directly::
+
+    session = repro.open_session("bfv-sharded", params=..., db_bits=db)
+    results = session.search_batch(queries)
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..verify import VerifyLike
 from .pipeline import SearchReport, SecureStringMatchPipeline
 
 
@@ -51,12 +56,12 @@ class BatchReport:
 class BatchSearcher:
     """Runs batches of queries against one outsourced database.
 
-    Identical queries within a batch are deduplicated: the search runs
-    once and the report object is shared (real query streams — e.g. the
-    database case study's key lookups — repeat keys).  Deduplication is
-    per batch by design: the old cross-batch report memo was unbounded,
-    which a long-lived serving process cannot afford; across batches the
-    bounded LRU variant cache still saves re-encryption.
+    .. deprecated:: 1.3
+        Thin shim over :func:`repro.open_session`; use the facade for
+        new code.  Everything still works: identical queries are
+        deduplicated inside the serve layer (duplicates share one report
+        object), and the full serving metrics of the last batch are on
+        :attr:`last_serve_report`.
 
     With ``num_shards=1`` (the default) the batch executes on the
     pipeline's own addition backend, so an IFP-backed pipeline still
@@ -74,42 +79,56 @@ class BatchSearcher:
         cache_capacity: int = 256,
         backend_factory=None,
     ):
-        # Imported here: repro.serve depends on repro.core submodules.
-        from ..serve import ShardedSearchEngine
+        # Imported here: repro.api sits above repro.core in the stack.
+        from ..api import Session, ShardedEngine
 
+        warnings.warn(
+            "BatchSearcher is a deprecated shim; use "
+            "repro.open_session('bfv-sharded', ...).search_batch(...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.pipeline = pipeline
         if num_shards == 1 and backend_factory is None:
             backend_factory = lambda ctx, shard_id: pipeline.server.engine.backend
-        self._engine = ShardedSearchEngine(
+        self._adapter = ShardedEngine(
             client=pipeline.client,
             num_shards=num_shards,
             backend_factory=backend_factory,
             max_workers=max_workers,
             cache_capacity=cache_capacity,
         )
+        self._session = Session(self._adapter)
         self.deduplicated_hits = 0
-        self.last_serve_report = None
 
     @property
     def engine(self):
         """The underlying :class:`repro.serve.ShardedSearchEngine`."""
-        return self._engine
+        return self._adapter.engine
+
+    @property
+    def last_serve_report(self):
+        """Full :class:`repro.serve.ServeReport` of the last batch."""
+        return self._adapter.last_serve_report
 
     def outsource(self, db_bits: np.ndarray):
         """Outsource through the pipeline (so ``pipeline.search`` stays
         usable) and shard the resulting encrypted database."""
         db = self.pipeline.outsource_database(db_bits)
-        self._engine.adopt_database(db)
+        self._adapter.adopt_database(db)
         return db
 
     def search_batch(
-        self, queries: Sequence[np.ndarray], *, verify: bool = True
+        self, queries: Sequence[np.ndarray], *, verify: VerifyLike = True
     ) -> BatchReport:
         # The pipeline may have been outsourced directly (legacy usage);
         # pick up whatever database it currently holds.
-        if self.pipeline.db is not None and self._engine.db is not self.pipeline.db:
-            self._engine.adopt_database(self.pipeline.db)
-        serve = self._engine.search_batch(queries, verify=verify)
+        if (
+            self.pipeline.db is not None
+            and self._adapter.engine.db is not self.pipeline.db
+        ):
+            self._adapter.adopt_database(self.pipeline.db)
+        self._session.search_batch(list(queries), verify=verify)
+        serve = self._adapter.last_serve_report
         self.deduplicated_hits += serve.deduplicated_hits
-        self.last_serve_report = serve
         return BatchReport(reports=list(serve.reports))

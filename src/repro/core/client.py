@@ -15,6 +15,7 @@ import numpy as np
 from ..he.bfv import BFVContext
 from ..he.keys import KeyGenerator, PublicKey, SecretKey
 from ..he.params import BFVParams
+from ..verify import VerifyLike, want_verify
 from ..baselines.plaintext import matches_at
 from .match_polynomial import IndexMode, flag_matches_by_decryption
 from .matcher import MatchCandidate, ResultBlock, ResultDecoder, verify_candidates
@@ -98,11 +99,16 @@ class CipherMatchClient:
         blocks: List[ResultBlock],
         db: EncryptedDatabase,
         *,
-        verify: bool = True,
+        verify: VerifyLike = True,
     ) -> List[MatchCandidate]:
         """Flag all-ones coefficients (decrypting under CLIENT_DECRYPT),
         map them to bit offsets, optionally verify against the client's
-        own plaintext copy."""
+        own plaintext copy.
+
+        ``verify`` accepts a bool or a :class:`repro.verify.VerifyPolicy`
+        — this is the single place the whole pipeline family resolves
+        the policy to a decision.
+        """
         flags: Dict[tuple, np.ndarray] = {}
         for block in blocks:
             flags[(block.variant_index, block.poly_index)] = (
@@ -112,7 +118,7 @@ class CipherMatchClient:
             )
         decoder = ResultDecoder(self.chunk_width, db.n, db.bit_length)
         candidates = decoder.decode(prepared, flags, db.num_polynomials)
-        if verify and self._db_bits is not None:
+        if want_verify(verify) and self._db_bits is not None:
             return verify_candidates(
                 candidates,
                 lambda off: matches_at(self._db_bits, prepared.query_bits, off),
@@ -125,12 +131,12 @@ class CipherMatchClient:
         flags: Dict[tuple, np.ndarray],
         db: EncryptedDatabase,
         *,
-        verify: bool = True,
+        verify: VerifyLike = True,
     ) -> List[MatchCandidate]:
         """Decode match flags the server produced (deterministic mode)."""
         decoder = ResultDecoder(self.chunk_width, db.n, db.bit_length)
         candidates = decoder.decode(prepared, flags, db.num_polynomials)
-        if verify and self._db_bits is not None:
+        if want_verify(verify) and self._db_bits is not None:
             return verify_candidates(
                 candidates,
                 lambda off: matches_at(self._db_bits, prepared.query_bits, off),

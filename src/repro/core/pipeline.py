@@ -19,6 +19,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..verify import VerifyLike
 from .client import CipherMatchClient, ClientConfig
 from .match_polynomial import IndexMode
 from .matcher import AdditionBackend, MatchCandidate
@@ -70,7 +71,12 @@ class SecureStringMatchPipeline:
 
     # -- query -----------------------------------------------------------
 
-    def search(self, query_bits: np.ndarray, *, verify: bool = True) -> SearchReport:
+    def search(
+        self, query_bits: np.ndarray, *, verify: VerifyLike = True
+    ) -> SearchReport:
+        """Run one secure search.  ``verify`` accepts a bool or a
+        :class:`repro.verify.VerifyPolicy`; resolution happens in the
+        client's decode step."""
         if self.db is None:
             raise RuntimeError("outsource a database first")
         prepared = self.client.prepare_query(np.asarray(query_bits, dtype=np.uint8))

@@ -24,6 +24,7 @@ from typing import Dict, List
 import numpy as np
 
 from ..he.serialize import deserialize_ciphertext, serialize_ciphertext
+from ..verify import VerifyLike
 from .client import CipherMatchClient, ClientConfig
 from .matcher import MatchCandidate, ResultBlock
 from .packing import EncryptedDatabase
@@ -210,12 +211,14 @@ class WireProtocolSession:
         self.server.store_database(decode_database(wire, self.server.ctx))
         self._num_polynomials = db.num_polynomials
 
-    def search(self, query_bits: np.ndarray, *, verify: bool = True) -> List[int]:
+    def search(
+        self, query_bits: np.ndarray, *, verify: VerifyLike = True
+    ) -> List[int]:
         candidates = self.search_candidates(query_bits, verify=verify)
         return [c.offset for c in candidates]
 
     def search_candidates(
-        self, query_bits: np.ndarray, *, verify: bool = True
+        self, query_bits: np.ndarray, *, verify: VerifyLike = True
     ) -> List[MatchCandidate]:
         prepared = self.client.prepare_query(np.asarray(query_bits, dtype=np.uint8))
 

@@ -85,6 +85,16 @@ class WildcardPattern:
             raise ValueError("pattern has no literal bits")
         return WildcardPattern(segments, len(bits))
 
+    def to_bits_and_mask(self) -> tuple:
+        """Inverse of :meth:`from_bits`: the pattern as (bits, mask)
+        arrays (wildcard positions carry bit 0, mask 0)."""
+        bits = np.zeros(self.total_bits, dtype=np.uint8)
+        mask = np.zeros(self.total_bits, dtype=np.uint8)
+        for seg in self.segments:
+            bits[seg.offset_bits : seg.offset_bits + seg.length] = seg.bits
+            mask[seg.offset_bits : seg.offset_bits + seg.length] = 1
+        return bits, mask
+
     @staticmethod
     def from_text(pattern: str, wildcard: str = "?") -> "WildcardPattern":
         """Byte-level wildcards over an ASCII pattern: each ``?`` is a
@@ -103,31 +113,53 @@ class WildcardPattern:
 
 
 class WildcardSearcher:
-    """Wildcard search on top of a standard CIPHERMATCH pipeline."""
+    """Wildcard search on top of a standard CIPHERMATCH pipeline.
+
+    .. deprecated:: 1.3
+        Thin shim over the unified facade: the segment-sweep +
+        intersection join now lives in :class:`repro.api.Engine` and is
+        shared by every wildcard-capable engine.  New code::
+
+            session = repro.open_session("bfv", ..., db_bits=db)
+            result = session.search(WildcardSearch.from_text("AB??CD"))
+    """
 
     def __init__(self, pipeline: SecureStringMatchPipeline):
+        import warnings
+
+        warnings.warn(
+            "WildcardSearcher is a deprecated shim; use "
+            "repro.open_session(...).search(repro.api.WildcardSearch...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.pipeline = pipeline
 
-    def search(self, pattern: WildcardPattern, *, verify: bool = True) -> List[int]:
+    def search(self, pattern: WildcardPattern, *, verify=True) -> List[int]:
         """Offsets where the full wildcard pattern occurs.
 
         Each literal segment is searched independently (one Hom-Add
         sweep per segment); candidate pattern offsets are the
         intersection of the per-segment offsets shifted by their
-        displacement.
+        displacement.  Executed by the :mod:`repro.api` facade's shared
+        wildcard join.
         """
+        # Imported here: repro.api sits above repro.core in the stack.
+        from ..api import PipelineEngine, WildcardSearch
+        from ..verify import VerifyPolicy
+
         if self.pipeline.db is None:
             raise RuntimeError("outsource a database first")
-        db_bits = self.pipeline.db.bit_length
-        candidate_sets = []
-        for segment in pattern.segments:
-            report = self.pipeline.search(segment.bit_array(), verify=verify)
-            shifted = {m - segment.offset_bits for m in report.matches}
-            candidate_sets.append(shifted)
-        common = set.intersection(*candidate_sets)
-        return sorted(
-            p for p in common if 0 <= p and p + pattern.total_bits <= db_bits
+        bits, mask = pattern.to_bits_and_mask()
+        engine = PipelineEngine(pipeline=self.pipeline)
+        result = engine.execute(
+            WildcardSearch(
+                tuple(int(b) for b in bits),
+                tuple(int(m) for m in mask),
+                verify=VerifyPolicy.coerce(verify),
+            )
         )
+        return list(result.matches)
 
     def hom_additions_for(self, pattern: WildcardPattern) -> int:
         """Predicted Hom-Add count: one sweep per literal segment."""

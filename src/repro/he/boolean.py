@@ -53,11 +53,17 @@ class GateCostModel:
 class BooleanContext:
     """Bit-level homomorphic gates over BFV(t=2) ciphertexts."""
 
-    def __init__(self, params: BFVParams | None = None, seed: int | None = None):
+    def __init__(
+        self,
+        params: BFVParams | None = None,
+        seed: int | None = None,
+        *,
+        poly_backend: str | None = None,
+    ):
         params = params or BFVParams.boolean_baseline()
         if params.t != 2:
             raise ValueError("Boolean mode requires t = 2")
-        self.ctx = BFVContext(params, seed)
+        self.ctx = BFVContext(params, seed, backend=poly_backend)
         self.params = params
         self._one_pt = self.ctx.plaintext(self._unit_coeffs())
         self.gate_counts = {"xnor": 0, "xor": 0, "and": 0, "or": 0, "not": 0}

@@ -41,9 +41,9 @@ Quickstart
 >>> engine = ShardedSearchEngine(
 ...     ClientConfig(BFVParams.test_small(64), key_seed=1), num_shards=4
 ... )
->>> db = np.zeros(4096, dtype=np.uint8); db[160:168] = 1
+>>> db = np.zeros(4096, dtype=np.uint8); db[160:192] = 1
 >>> _ = engine.outsource(db)
->>> engine.search(np.ones(8, dtype=np.uint8)).matches
+>>> engine.search(np.ones(32, dtype=np.uint8)).matches
 [160]
 
 ``python -m repro serve`` runs a complete demo, and

@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..he.bfv import BFVContext, Ciphertext
+from ..verify import VerifyLike
 from ..core.client import CipherMatchClient, ClientConfig
 from ..core.match_polynomial import DeterministicComparator, IndexMode
 from ..core.matcher import AdditionBackend, CPUAdditionBackend, ResultBlock
@@ -194,14 +195,18 @@ class ShardedSearchEngine:
 
     # -- queries ---------------------------------------------------------
 
-    def search(self, query_bits: np.ndarray, *, verify: bool = True) -> SearchReport:
+    def search(
+        self, query_bits: np.ndarray, *, verify: VerifyLike = True
+    ) -> SearchReport:
         """Single-query convenience wrapper around :meth:`search_batch`."""
         return self.search_batch([query_bits], verify=verify).reports[0]
 
     def search_batch(
-        self, queries: Sequence[np.ndarray], *, verify: bool = True
+        self, queries: Sequence[np.ndarray], *, verify: VerifyLike = True
     ) -> ServeReport:
-        """Execute a query batch across all shards concurrently."""
+        """Execute a query batch across all shards concurrently.
+        ``verify`` accepts a bool or :class:`repro.verify.VerifyPolicy`
+        and is resolved once, in the client decode step."""
         if self.db is None or not self.shards:
             raise RuntimeError("outsource or adopt a database first")
 

@@ -1,0 +1,44 @@
+"""Shared fixtures for the unified facade tests.
+
+`master_fixture` is THE shared parity fixture: one database and one
+planted 32-bit query.  Engines with scheme- or scale-limited
+capabilities see deterministic *views* of the same fixture — the query
+clamped to `Capabilities.query_bits_for_parity`, the database to
+`Capabilities.db_bits_for_parity` — so every registered engine is
+exercised against `baselines.plaintext.find_all_matches` on the same
+underlying data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+
+@dataclass(frozen=True)
+class MasterFixture:
+    db_bits: np.ndarray
+    query_bits: np.ndarray
+
+    def view(self, capabilities, query_request_bits: int = 32):
+        """(db view, query view) clamped to one engine's capabilities."""
+        qbits = capabilities.query_bits_for_parity(query_request_bits)
+        dbits = capabilities.db_bits_for_parity(len(self.db_bits))
+        return self.db_bits[:dbits].copy(), self.query_bits[:qbits].copy()
+
+
+@pytest.fixture(scope="session")
+def master_fixture() -> MasterFixture:
+    rng = np.random.default_rng(20250728)
+    db = rng.integers(0, 2, 2048).astype(np.uint8)
+    query = rng.integers(0, 2, 32).astype(np.uint8)
+    # Planted occurrences: one near the start (inside every clamped
+    # database view — its prefix is a prefix-query occurrence), one
+    # mid-database, one straddling the 2-shard polynomial boundary
+    # (bit 1024 at n=64, w=16).
+    db[8:40] = query
+    db[608:640] = query
+    db[1008:1040] = query
+    return MasterFixture(db_bits=db, query_bits=query)
