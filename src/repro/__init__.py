@@ -43,7 +43,7 @@ Quickstart
 (160,)
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from . import baselines, core, eval, flash, he, ndp, ssd, tfhe, workloads  # noqa: F401
 from . import api  # noqa: F401  (depends on the subpackages above)

@@ -10,8 +10,8 @@
     python -m repro serve              # sharded concurrent serving demo
 
 Every subcommand has ``--help``; ``search`` talks to the unified
-:mod:`repro.api` facade, so ``--engine``/``--shards``/``--poly-backend``
-map directly onto registry keys and engine kwargs.
+:mod:`repro.api` facade, so ``--engine``/``--shards``/``--poly-backend``/
+``--search-kernel`` map directly onto registry keys and engine kwargs.
 """
 
 from __future__ import annotations
@@ -73,6 +73,13 @@ def _search(args: argparse.Namespace) -> int:
         engine_kwargs["num_shards"] = args.shards
     if args.poly_backend is not None:
         engine_kwargs["poly_backend"] = args.poly_backend
+    if getattr(args, "search_kernel", None) is not None:
+        if args.engine not in ("bfv", "bfv-sharded"):
+            print(
+                f"error: engine {args.engine!r} has no search-kernel choice"
+            )
+            return 2
+        engine_kwargs["search_kernel"] = args.search_kernel
     if args.key_seed is not None and args.engine != "plaintext":
         # every HE engine takes a seed under one of these names
         engine_kwargs["key_seed" if args.engine.startswith("bfv") else "seed"] = (
@@ -288,6 +295,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument(
         "--poly-backend", choices=["vectorized", "reference"],
         help="polynomial-arithmetic backend",
+    )
+    p_search.add_argument(
+        "--search-kernel", choices=["fused", "object"],
+        help="search execution kernel (bfv / bfv-sharded engines)",
     )
     p_search.add_argument(
         "--key-seed", type=int, help="deterministic key generation seed"

@@ -237,6 +237,7 @@ class PipelineEngine(Engine):
         index_mode: IndexMode = IndexMode.CLIENT_DECRYPT,
         deterministic_seed: Optional[int] = None,
         poly_backend: Optional[str] = None,
+        search_kernel: Optional[str] = None,
         addition_backend=None,
         pipeline: Optional[SecureStringMatchPipeline] = None,
     ):
@@ -251,7 +252,9 @@ class PipelineEngine(Engine):
                 key_seed=key_seed,
                 poly_backend=poly_backend,
             )
-            self.pipeline = SecureStringMatchPipeline(config)
+            self.pipeline = SecureStringMatchPipeline(
+                config, search_kernel=search_kernel
+            )
         if addition_backend is not None:
             if callable(addition_backend):
                 addition_backend = addition_backend(self.pipeline.client.ctx)
@@ -345,6 +348,7 @@ class ShardedEngine(Engine):
         chunk_width: Optional[int] = None,
         index_mode: IndexMode = IndexMode.CLIENT_DECRYPT,
         poly_backend: Optional[str] = None,
+        search_kernel: Optional[str] = None,
         cache_capacity: int = 256,
         max_workers: Optional[int] = None,
         backend_factory: Optional[Callable] = None,
@@ -371,6 +375,7 @@ class ShardedEngine(Engine):
             backend_factory=backend_factory,
             max_workers=max_workers,
             cache_capacity=cache_capacity,
+            search_kernel=search_kernel,
         )
         #: full :class:`~repro.serve.report.ServeReport` of the most
         #: recent batch (wall/modeled latency percentiles, cache stats).

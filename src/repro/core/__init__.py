@@ -6,6 +6,7 @@ from .client import CipherMatchClient, ClientConfig
 from .match_polynomial import IndexMode, match_plaintext, match_value
 from .matcher import (
     CPUAdditionBackend,
+    FusedResultSet,
     MatchCandidate,
     ResultBlock,
     ResultDecoder,
@@ -36,6 +37,7 @@ __all__ = [
     "DataPacker",
     "EncryptedDatabase",
     "FootprintReport",
+    "FusedResultSet",
     "IndexMode",
     "MatchCandidate",
     "PackedDatabase",

@@ -18,7 +18,13 @@ from ..he.params import BFVParams
 from ..verify import VerifyLike, want_verify
 from ..baselines.plaintext import matches_at
 from .match_polynomial import IndexMode, flag_matches_by_decryption
-from .matcher import MatchCandidate, ResultBlock, ResultDecoder, verify_candidates
+from .matcher import (
+    FusedResultSet,
+    MatchCandidate,
+    ResultBlock,
+    ResultDecoder,
+    verify_candidates,
+)
 from .packing import DataPacker, EncryptedDatabase, PackedDatabase
 from .query import PreparedQuery, QueryPreparer
 
@@ -109,6 +115,10 @@ class CipherMatchClient:
         — this is the single place the whole pipeline family resolves
         the policy to a decision.
         """
+        if isinstance(blocks, FusedResultSet):
+            return self.decode_flags_matrix(
+                prepared, blocks.flags_by_decryption(self.sk), db, verify=verify
+            )
         flags: Dict[tuple, np.ndarray] = {}
         for block in blocks:
             flags[(block.variant_index, block.poly_index)] = (
@@ -118,6 +128,29 @@ class CipherMatchClient:
             )
         decoder = ResultDecoder(self.chunk_width, db.n, db.bit_length)
         candidates = decoder.decode(prepared, flags, db.num_polynomials)
+        return self._maybe_verify(candidates, prepared, verify)
+
+    def decode_flags_matrix(
+        self,
+        prepared: PreparedQuery,
+        flags: np.ndarray,
+        db: EncryptedDatabase,
+        *,
+        verify: VerifyLike = True,
+    ) -> List[MatchCandidate]:
+        """Decode a stacked ``(num_variants, num_polys, n)`` flag grid —
+        the fused kernels' native output — with the same offset mapping
+        and verification policy as :meth:`decode_results`."""
+        decoder = ResultDecoder(self.chunk_width, db.n, db.bit_length)
+        candidates = decoder.decode_stacked(prepared, flags)
+        return self._maybe_verify(candidates, prepared, verify)
+
+    def _maybe_verify(
+        self,
+        candidates: List[MatchCandidate],
+        prepared: PreparedQuery,
+        verify: VerifyLike,
+    ) -> List[MatchCandidate]:
         if want_verify(verify) and self._db_bits is not None:
             return verify_candidates(
                 candidates,
@@ -136,9 +169,4 @@ class CipherMatchClient:
         """Decode match flags the server produced (deterministic mode)."""
         decoder = ResultDecoder(self.chunk_width, db.n, db.bit_length)
         candidates = decoder.decode(prepared, flags, db.num_polynomials)
-        if want_verify(verify) and self._db_bits is not None:
-            return verify_candidates(
-                candidates,
-                lambda off: matches_at(self._db_bits, prepared.query_bits, off),
-            )
-        return candidates
+        return self._maybe_verify(candidates, prepared, verify)

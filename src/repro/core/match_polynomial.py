@@ -18,11 +18,13 @@ Two index-generation modes (see DESIGN.md):
 
 from __future__ import annotations
 
+import threading
 from enum import Enum
-from typing import List
+from typing import Dict, List
 
 import numpy as np
 
+from ..he.arena import add_mod_q, mul_rows_by_poly
 from ..he.bfv import BFVContext, Ciphertext, Plaintext
 from ..he.keys import PublicKey, SecretKey
 from .packing import derive_masking_poly
@@ -70,6 +72,12 @@ class DeterministicComparator:
         self.pk = pk
         self.seed = seed
         self.chunk_width = chunk_width
+        # Per-index caches of ``pk0 * u`` mask rows for the batched
+        # (stacked-array) comparison path.  The database-side rows are
+        # query-independent, so a serving process derives them once.
+        self._db_mask: Dict[int, np.ndarray] = {}
+        self._query_mask: Dict[int, np.ndarray] = {}
+        self._lock = threading.Lock()
 
     def expected_match_c0(
         self, db_poly_index: int, variant_cache_key: int
@@ -90,6 +98,63 @@ class DeterministicComparator:
     ) -> np.ndarray:
         expected = self.expected_match_c0(db_poly_index, variant_cache_key)
         return result.c0.coeffs == expected
+
+    # -- stacked-array path (fused search kernel) -----------------------
+
+    def _mask_rows(
+        self, cache: Dict[int, np.ndarray], label: str, indices: np.ndarray
+    ) -> np.ndarray:
+        """``pk0 * u_label(i)`` rows for every index, memoized; missing
+        rows are derived and multiplied in one batched kernel.
+
+        The lock only guards cache bookkeeping: the derivation/multiply
+        and the (P, n) gather run outside it, so concurrent shard
+        workers don't serialize on the hot path.  A racing worker may
+        rederive a row another just computed — the values are
+        deterministic, so last-write-wins is harmless.
+        """
+        order = [int(i) for i in np.asarray(indices).tolist()]
+        with self._lock:
+            missing = [i for i in dict.fromkeys(order) if i not in cache]
+        if missing:
+            u_rows = np.stack(
+                [
+                    derive_masking_poly(self.ctx, self.seed, label, i).coeffs
+                    for i in missing
+                ]
+            )
+            products = mul_rows_by_poly(self.ctx.ring, u_rows, self.pk.pk0)
+            with self._lock:
+                for i, row in zip(missing, products):
+                    cache[i] = row
+        with self._lock:
+            rows = [cache[i] for i in order]
+        return np.stack(rows)
+
+    def flag_matches_batch(
+        self,
+        result_c0: np.ndarray,
+        db_poly_indices: np.ndarray,
+        variant_cache_keys: np.ndarray,
+    ) -> np.ndarray:
+        """Batched :meth:`flag_matches` over stacked result rows.
+
+        ``result_c0`` holds the ``(m, n)`` c0 rows of Hom-Add results;
+        row ``i`` came from database polynomial ``db_poly_indices[i]``
+        and the query variant keyed ``variant_cache_keys[i]``.  The
+        expected match ciphertext distributes over the mask sum
+        (``pk0 * (u_db + u_q) = pk0 * u_db + pk0 * u_q mod q``), so the
+        whole comparison is two gathers, two modular adds and one
+        vectorized equality — bit-identical to the scalar path.
+        """
+        q = self.ctx.params.q
+        db_rows = self._mask_rows(self._db_mask, "db", np.asarray(db_poly_indices))
+        q_rows = self._mask_rows(
+            self._query_mask, "qv", np.asarray(variant_cache_keys)
+        )
+        target = match_value(self.chunk_width) * self.ctx.params.delta
+        expected = add_mod_q(add_mod_q(db_rows, q_rows, q), np.int64(target % q), q)
+        return result_c0 == expected
 
 
 def combine_flag_blocks(blocks: List[np.ndarray]) -> np.ndarray:

@@ -11,14 +11,28 @@ in-flash bit-serial adder.
 
 from __future__ import annotations
 
+from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Protocol
+from typing import Callable, Dict, List, Optional, Protocol
 
 import numpy as np
 
+from ..he.arena import (
+    CiphertextArena,
+    QueryArena,
+    add_mod_q,
+    fused_decrypt_flags,
+    stack_ciphertext,
+)
 from ..he.bfv import BFVContext, Ciphertext
+from ..he.poly import RingPoly
 from .packing import EncryptedDatabase
-from .query import PreparedQuery, QueryVariant, variant_cache_key
+from .query import (
+    PreparedQuery,
+    QueryVariant,
+    variant_cache_key,
+    variant_cache_keys,
+)
 
 
 class AdditionBackend(Protocol):
@@ -29,6 +43,10 @@ class AdditionBackend(Protocol):
 
 class CPUAdditionBackend:
     """Reference software backend (CM-SW)."""
+
+    #: the fused arena kernels compute exactly what this backend's
+    #: per-pair adds compute, so the engine may batch through them.
+    supports_fused = True
 
     def __init__(self, ctx: BFVContext):
         self.ctx = ctx
@@ -55,6 +73,125 @@ class MatchCandidate:
     phase: int
     variant_index: int
     verified: Optional[bool] = None
+
+
+class FusedResultSet(SequenceABC):
+    """The db x variant Hom-Add product as stacked arrays.
+
+    Produced by :meth:`SecureSearchEngine.search_fused`: no per-pair
+    ciphertext objects exist, yet the set *acts* like the object path's
+    ``List[ResultBlock]`` — ``len`` / indexing / iteration materialize
+    blocks lazily (in the object path's (variant, polynomial) order),
+    so the wire protocol and other legacy consumers keep working.  Flag
+    extraction bypasses materialization entirely through the fused
+    kernels of :mod:`repro.he.arena`.
+    """
+
+    def __init__(
+        self,
+        ctx: BFVContext,
+        db: EncryptedDatabase,
+        arena: CiphertextArena,
+        query: QueryArena,
+        prepared: PreparedQuery,
+    ):
+        self.ctx = ctx
+        self.db = db
+        self.arena = arena
+        self.query = query
+        self.prepared = prepared
+        self.poly_indices = np.arange(db.num_polynomials, dtype=np.int64)
+        #: (V, P) query-row index per (variant, polynomial) pair
+        self.row_map = query.row_map(self.poly_indices)
+        self.num_variants = prepared.num_variants
+        self.num_polynomials = db.num_polynomials
+
+    # -- Sequence[ResultBlock] protocol -----------------------------------
+
+    def __len__(self) -> int:
+        return self.num_variants * self.num_polynomials
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        v_idx, j = divmod(index, self.num_polynomials)
+        return self.materialize_block(v_idx, j)
+
+    def materialize_block(self, v_idx: int, j: int) -> ResultBlock:
+        """Build the (variant, polynomial) result block on demand —
+        identical bytes to the object path's Hom-Add output."""
+        row = self.row_map[v_idx, j]
+        q = self.ctx.params.q
+        ring = self.ctx.ring
+        c0 = add_mod_q(self.arena.c0[j], self.query.c0[row], q)
+        c1 = add_mod_q(self.arena.c1[j], self.query.c1[row], q)
+        residue = int(self.query.row_residue[row])
+        return ResultBlock(
+            poly_index=j,
+            variant_index=v_idx,
+            variant_cache_key=variant_cache_key(v_idx, residue),
+            ciphertext=Ciphertext(
+                self.ctx.params, RingPoly(ring, c0), RingPoly(ring, c1)
+            ),
+        )
+
+    def cache_keys(self, v_idx: int) -> np.ndarray:
+        """``(P,)`` variant cache keys of one variant's result row."""
+        residues = self.query.row_residue[self.row_map[v_idx]]
+        return variant_cache_keys(v_idx, residues)
+
+    # -- fused flag extraction --------------------------------------------
+
+    def flags_by_decryption(self, sk) -> np.ndarray:
+        """``(V, P, n)`` boolean match flags via fused batch decryption
+        (CLIENT_DECRYPT index generation).  Counts the same logical
+        decryptions the object path would perform."""
+        flags = fused_decrypt_flags(
+            self.arena.phases(sk),
+            self.query.phases(sk),
+            self.row_map,
+            self.ctx.params,
+            self.db.chunk_width,
+        )
+        self.ctx.counter.decryptions += len(self)
+        return flags
+
+    def flags_by_comparator(self, comparator) -> np.ndarray:
+        """``(V, P, n)`` boolean match flags via the batched
+        deterministic comparator (SERVER_DETERMINISTIC mode)."""
+        return comparator_flag_grid(
+            comparator, self.arena, self.query, self.row_map, self.poly_indices
+        )
+
+
+def comparator_flag_grid(
+    comparator,
+    arena: CiphertextArena,
+    query: QueryArena,
+    row_map: np.ndarray,
+    poly_indices: np.ndarray,
+) -> np.ndarray:
+    """Deterministic-mode match flags for a whole (or shard-sliced)
+    db x variant grid: broadcast Hom-Add of the c0 rows plus the
+    batched comparator, one variant at a time — the single home of the
+    fused comparator math for both the pipeline and the serving shards.
+    """
+    q = arena.params.q
+    num_variants, num_polys = row_map.shape
+    flags = np.empty((num_variants, num_polys, arena.n), dtype=bool)
+    for v_idx in range(num_variants):
+        rows = row_map[v_idx]
+        result_c0 = add_mod_q(arena.c0, query.c0[rows], q)
+        flags[v_idx] = comparator.flag_matches_batch(
+            result_c0,
+            poly_indices,
+            variant_cache_keys(v_idx, query.row_residue[rows]),
+        )
+    return flags
 
 
 class SecureSearchEngine:
@@ -94,6 +231,34 @@ class SecureSearchEngine:
                 )
         return blocks
 
+    def search_fused(
+        self,
+        db: EncryptedDatabase,
+        prepared: PreparedQuery,
+        encrypt_variant: Callable[[int, int], Ciphertext],
+    ) -> FusedResultSet:
+        """The same db x variant product as :meth:`search`, executed as
+        broadcast kernels over the database's ciphertext arena.
+
+        The logical Hom-Add count is identical to the object path —
+        one per (polynomial, variant) pair — and is accounted the same
+        way, on both :attr:`hom_add_count` and the context's operation
+        counter, so op-count models keep their meaning across kernels.
+        """
+        ctx = self.backend.ctx
+        arena = db.fused_arena(ctx.ring, ctx.params)
+        query = QueryArena(
+            ctx.ring,
+            ctx.params,
+            prepared.variants,
+            db.num_polynomials,
+            lambda v_idx, residue, j: stack_ciphertext(encrypt_variant(v_idx, j)),
+        )
+        count = prepared.num_variants * db.num_polynomials
+        self.hom_add_count += count
+        ctx.counter.additions += count
+        return FusedResultSet(ctx, db, arena, query, prepared)
+
 
 class ResultDecoder:
     """Turns per-coefficient match flags into database bit offsets."""
@@ -114,15 +279,40 @@ class ResultDecoder:
         candidates: Dict[int, MatchCandidate] = {}
         for v_idx, variant in enumerate(prepared.variants):
             flags = self._global_flags(v_idx, flags_by_block, num_polynomials)
-            for offset in self._offsets_for_variant(variant, flags, prepared):
-                existing = candidates.get(offset)
-                if existing is None or (
-                    existing.verified is None and not variant.requires_verification
-                ):
-                    candidates[offset] = MatchCandidate(
-                        offset=offset, phase=variant.phase, variant_index=v_idx
-                    )
+            self._accumulate(candidates, v_idx, variant, flags, prepared)
         return sorted(candidates.values(), key=lambda c: c.offset)
+
+    def decode_stacked(
+        self, prepared: PreparedQuery, flags: np.ndarray
+    ) -> List[MatchCandidate]:
+        """Decode a ``(num_variants, num_polys, n)`` flag grid (the
+        fused kernels' output).  Bit-identical to :meth:`decode` on the
+        equivalent per-block dictionary: the per-variant global flag
+        vector is just the grid row flattened in polynomial order."""
+        candidates: Dict[int, MatchCandidate] = {}
+        for v_idx, variant in enumerate(prepared.variants):
+            self._accumulate(
+                candidates, v_idx, variant, flags[v_idx].reshape(-1), prepared
+            )
+        return sorted(candidates.values(), key=lambda c: c.offset)
+
+    def _accumulate(
+        self,
+        candidates: Dict[int, MatchCandidate],
+        v_idx: int,
+        variant: QueryVariant,
+        flags: np.ndarray,
+        prepared: PreparedQuery,
+    ) -> None:
+        for offset in self._offsets_for_variant(variant, flags, prepared):
+            offset = int(offset)
+            existing = candidates.get(offset)
+            if existing is None or (
+                existing.verified is None and not variant.requires_verification
+            ):
+                candidates[offset] = MatchCandidate(
+                    offset=offset, phase=variant.phase, variant_index=v_idx
+                )
 
     def _global_flags(
         self,
@@ -140,27 +330,31 @@ class ResultDecoder:
 
     def _offsets_for_variant(
         self, variant: QueryVariant, flags: np.ndarray, prepared: PreparedQuery
-    ) -> Iterable[int]:
+    ) -> np.ndarray:
         w = self.chunk_width
         span = variant.span
         o = variant.query_bit_offset
         y = prepared.bit_length
         total = len(flags)
-        # run[g] = True when flags[g : g+span] are all True
+        # run[g] = True when flags[g : g+span] are all True.  A prefix
+        # sum turns the all-ones test into one windowed difference
+        # (O(total) instead of the old O(span * total) shift loop);
+        # positions within span-1 of the end can never host a full run.
         if span == 1:
             run = flags
+        elif span > total:
+            return np.empty(0, dtype=np.int64)
         else:
-            run = np.ones(total, dtype=bool)
-            for k in range(span):
-                shifted = np.zeros(total, dtype=bool)
-                if total - k > 0:
-                    shifted[: total - k] = flags[k:]
-                run &= shifted
+            sums = np.cumsum(flags, dtype=np.int64)
+            window = sums[span - 1 :].copy()
+            window[1:] -= sums[: total - span]
+            run = np.zeros(total, dtype=bool)
+            run[: total - span + 1] = window == span
         starts = np.nonzero(run)[0]
         starts = starts[(starts - variant.rotation) % span == 0]
         offsets = starts * w - o
         offsets = offsets[(offsets >= 0) & (offsets + y <= self.db_bit_length)]
-        return (int(offset) for offset in offsets)
+        return offsets.astype(np.int64)
 
 
 def verify_candidates(

@@ -16,6 +16,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..he.arena import CiphertextArena
 from ..he.bfv import BFVContext, Ciphertext, Plaintext
 from ..he.encoder import ChunkPackEncoder
 from ..he.keys import PublicKey
@@ -57,6 +58,19 @@ class EncryptedDatabase:
     #: masking polynomials used under deterministic encryption (None when
     #: semantically secure encryption was used)
     deterministic_seed: Optional[int] = None
+    #: derived-value caches (wire size, ciphertext arena); invalidated
+    #: whenever ``ciphertexts`` is rebound — callers that mutate the
+    #: list *in place* must call :meth:`invalidate_caches` themselves.
+    _serialized_bytes: Optional[int] = field(
+        default=None, repr=False, compare=False
+    )
+    _arena: Optional[object] = field(default=None, repr=False, compare=False)
+
+    def __setattr__(self, name: str, value) -> None:
+        if name == "ciphertexts":
+            object.__setattr__(self, "_serialized_bytes", None)
+            object.__setattr__(self, "_arena", None)
+        object.__setattr__(self, name, value)
 
     @property
     def num_polynomials(self) -> int:
@@ -64,7 +78,35 @@ class EncryptedDatabase:
 
     @property
     def serialized_bytes(self) -> int:
-        return sum(ct.serialized_bytes for ct in self.ciphertexts)
+        """Total wire size of the stored ciphertexts.
+
+        Computed once and cached: the serving report and the footprint
+        accounting read this per query, and the O(num_polys) sum showed
+        up in serving profiles.
+        """
+        if self._serialized_bytes is None:
+            self._serialized_bytes = sum(
+                ct.serialized_bytes for ct in self.ciphertexts
+            )
+        return self._serialized_bytes
+
+    def invalidate_caches(self) -> None:
+        """Drop derived caches after in-place ciphertext mutation."""
+        self._serialized_bytes = None
+        self._arena = None
+
+    def fused_arena(self, ring, params) -> "CiphertextArena":
+        """The database's :class:`~repro.he.arena.CiphertextArena` —
+        the stacked ``(num_polys, 2, n)`` storage the fused search
+        kernels broadcast over.  Built once (at first fused search
+        after outsourcing) and cached on the database."""
+        arena = self._arena
+        if arena is None or arena.ring != ring:
+            arena = CiphertextArena.from_ciphertexts(
+                ring, params, self.ciphertexts
+            )
+            self._arena = arena
+        return arena
 
 
 @dataclass

@@ -94,6 +94,12 @@ def variant_cache_key(variant_index: int, residue: int) -> int:
     return variant_index * 1009 + residue
 
 
+def variant_cache_keys(variant_index: int, residues: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`variant_cache_key` over a residue array (the
+    fused kernels key whole result rows at once)."""
+    return variant_index * 1009 + np.asarray(residues)
+
+
 def guaranteed_phases(query_bits: int, chunk_width: int) -> List[int]:
     """Bit phases at which a query of this length is detected exactly
     (i.e., has at least one fully-covered interior chunk)."""

@@ -9,16 +9,18 @@ values and the shared masking seed.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..he.arena import resolve_search_kernel
 from ..he.bfv import BFVContext, Ciphertext
 from ..he.keys import PublicKey
 from .match_polynomial import DeterministicComparator
 from .matcher import (
     AdditionBackend,
     CPUAdditionBackend,
+    FusedResultSet,
     ResultBlock,
     SecureSearchEngine,
 )
@@ -27,15 +29,30 @@ from .query import PreparedQuery
 
 
 class CipherMatchServer:
-    """Server endpoint: encrypted storage + Hom-Add search execution."""
+    """Server endpoint: encrypted storage + Hom-Add search execution.
+
+    ``search_kernel`` selects the execution strategy: ``"fused"``
+    (default) broadcasts over the database's ciphertext arena and
+    returns a lazy :class:`~repro.core.matcher.FusedResultSet`;
+    ``"object"`` is the original one-``ctx.add``-per-pair path.  ``None``
+    defers to the process default (``REPRO_SEARCH_KERNEL``).  Backends
+    that do their own addition (the simulated in-flash IFP backend)
+    always take the object path — the fused kernels only stand in for
+    plain CPU adds.
+    """
 
     def __init__(
         self,
         ctx: BFVContext,
         backend: Optional[AdditionBackend] = None,
+        *,
+        search_kernel: Optional[str] = None,
     ):
         self.ctx = ctx
         self.engine = SecureSearchEngine(backend or CPUAdditionBackend(ctx))
+        if search_kernel is not None:
+            resolve_search_kernel(search_kernel)  # validate eagerly
+        self.search_kernel = search_kernel
         self.db: Optional[EncryptedDatabase] = None
         self._comparator: Optional[DeterministicComparator] = None
 
@@ -52,23 +69,45 @@ class CipherMatchServer:
 
     # -- search (Algorithm 1, lines 10-12) --------------------------------
 
+    def uses_fused_kernel(self) -> bool:
+        """True when the next search will run the fused arena kernels."""
+        return resolve_search_kernel(self.search_kernel) == "fused" and getattr(
+            self.engine.backend, "supports_fused", False
+        )
+
     def search(
         self,
         prepared: PreparedQuery,
         encrypt_variant: Callable[[int, int], Ciphertext],
-    ) -> List[ResultBlock]:
+    ) -> Sequence[ResultBlock]:
         if self.db is None:
             raise RuntimeError("no database stored on the server")
+        if self.uses_fused_kernel():
+            return self.engine.search_fused(self.db, prepared, encrypt_variant)
         return self.engine.search(self.db, prepared, encrypt_variant)
 
-    def generate_index(self, blocks: List[ResultBlock]) -> Dict[tuple, np.ndarray]:
+    def generate_index(
+        self, blocks: Sequence[ResultBlock]
+    ) -> Dict[tuple, np.ndarray]:
         """Server-side index generation (deterministic mode only):
         compare each result block against the predicted match ciphertext
-        and return per-coefficient flags."""
+        and return per-coefficient flags.
+
+        A fused result set takes the batched comparator (stacked-array
+        compare); the returned dictionary then holds zero-copy views of
+        the flag grid, so downstream decode is unchanged either way.
+        """
         if self._comparator is None:
             raise RuntimeError(
                 "server-side index generation requires deterministic mode"
             )
+        if isinstance(blocks, FusedResultSet):
+            grid = blocks.flags_by_comparator(self._comparator)
+            return {
+                (v_idx, j): grid[v_idx, j]
+                for v_idx in range(blocks.num_variants)
+                for j in range(blocks.num_polynomials)
+            }
         flags: Dict[tuple, np.ndarray] = {}
         for block in blocks:
             flags[(block.variant_index, block.poly_index)] = (

@@ -2,6 +2,15 @@
 (Ring-LWE over ``Z_q[X]/(X^n+1)``) with packing encoders, a Boolean mode
 (TFHE stand-in), Galois automorphisms, and noise-budget diagnostics."""
 
+from .arena import (
+    CiphertextArena,
+    QueryArena,
+    decrypt_batch,
+    flags_batch,
+    get_default_search_kernel,
+    resolve_search_kernel,
+    set_default_search_kernel,
+)
 from .backend import (
     PolyBackend,
     ReferenceBackend,
@@ -48,6 +57,8 @@ __all__ = [
     "BooleanContext",
     "ChunkPackEncoder",
     "Ciphertext",
+    "CiphertextArena",
+    "QueryArena",
     "EncodedMessage",
     "GaloisKey",
     "GateCostModel",
@@ -67,15 +78,20 @@ __all__ = [
     "SecurityReport",
     "SingleBitEncoder",
     "VectorizedBackend",
+    "decrypt_batch",
     "deserialize_ciphertext",
     "deserialize_plaintext",
     "deserialize_public_key",
     "deserialize_secret_key",
+    "flags_batch",
     "generate_keys",
     "get_default_backend",
+    "get_default_search_kernel",
+    "resolve_search_kernel",
     "serialize_ciphertext",
     "serialize_plaintext",
     "serialize_public_key",
     "serialize_secret_key",
     "set_default_backend",
+    "set_default_search_kernel",
 ]

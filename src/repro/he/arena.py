@@ -1,0 +1,512 @@
+"""Ciphertext arena: contiguous stacked ciphertext storage plus the
+fused batched Hom-Add / decrypt / flag kernels for the search hot path.
+
+The CIPHERMATCH search is *nothing but* coefficient-wise additions
+(Algorithm 1), yet the object-granular execution path spends most of
+its time allocating a :class:`~repro.he.bfv.Ciphertext` per (database
+polynomial, query variant) pair and then decrypting every result block
+with its own ``c1 * s`` ring multiply.  The arena removes both costs:
+
+* :class:`CiphertextArena` stores a whole encrypted database as one
+  ``(num_polys, 2, n)`` int64 array (row ``[j, 0]`` is ``c0`` of the
+  j-th polynomial, ``[j, 1]`` is ``c1``), built once at outsourcing
+  time.  Slicing it for a serving shard is a zero-copy view.
+* :meth:`CiphertextArena.hom_add_broadcast` performs the entire
+  db x variant product as one broadcast add + one modular fold — no
+  per-pair Python objects.
+* :func:`decrypt_batch` pushes *stacked* result rows through one
+  batched NTT pass (``c1`` rows against the cached secret-key
+  transform) instead of one ring multiply per block, and
+  :func:`flags_batch` turns the decrypted grid into the boolean
+  all-ones match flags in one vectorized compare.
+* For results produced by the broadcast add itself there is an even
+  stronger identity: decryption is linear, so the phase of
+  ``ct_db + ct_q`` equals ``phase(ct_db) + phase(ct_q) mod q``.
+  :meth:`CiphertextArena.phases` computes the database-side phases once
+  per (database, secret key) — ``num_polys`` multiplies instead of
+  ``num_polys * num_variants`` — and :func:`fused_decrypt_flags` folds
+  the per-variant query phases over them with pure broadcast adds.
+
+Every kernel is exact: it produces bit-for-bit the coefficients the
+object path produces (``tests/he/test_arena.py`` enforces this), for
+both polynomial backends.
+
+Kernel selection
+----------------
+The search layers (:mod:`repro.core`, :mod:`repro.serve`,
+:mod:`repro.api`) accept a ``search_kernel`` argument mirroring the
+``poly_backend`` plumbing: ``"fused"`` (default) or ``"object"`` (the
+original per-pair path, kept as the parity oracle).  When omitted, the
+process default applies: :func:`set_default_search_kernel`, else the
+``REPRO_SEARCH_KERNEL`` environment variable, else ``"fused"``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .backend import VectorizedBackend
+from .bfv import Ciphertext
+from .poly import RingContext, RingPoly
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .keys import SecretKey
+    from .params import BFVParams
+
+# ---------------------------------------------------------------------------
+# Kernel selection (mirrors repro.he.backend's poly-backend plumbing)
+# ---------------------------------------------------------------------------
+
+#: the two search-kernel implementations
+SEARCH_KERNELS = ("fused", "object")
+
+#: environment override consulted when no explicit choice was made.
+KERNEL_ENV_VAR = "REPRO_SEARCH_KERNEL"
+
+_default_kernel: str | None = None
+
+
+def set_default_search_kernel(name: str | None) -> None:
+    """Install a process-wide default (``None`` restores env/built-in)."""
+    global _default_kernel
+    if name is not None and name not in SEARCH_KERNELS:
+        raise ValueError(
+            f"unknown search kernel {name!r}; available: {sorted(SEARCH_KERNELS)}"
+        )
+    _default_kernel = name
+
+
+def get_default_search_kernel() -> str:
+    if _default_kernel is not None:
+        return _default_kernel
+    env = os.environ.get(KERNEL_ENV_VAR)
+    if env:
+        if env not in SEARCH_KERNELS:
+            raise ValueError(
+                f"{KERNEL_ENV_VAR}={env!r} is not a search kernel; "
+                f"available: {sorted(SEARCH_KERNELS)}"
+            )
+        return env
+    return "fused"
+
+
+def resolve_search_kernel(spec: str | None) -> str:
+    """Turn a kernel name or ``None`` (process default) into a name."""
+    if spec is None:
+        return get_default_search_kernel()
+    if spec not in SEARCH_KERNELS:
+        raise ValueError(
+            f"unknown search kernel {spec!r}; available: {sorted(SEARCH_KERNELS)}"
+        )
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# Shared modular kernels
+# ---------------------------------------------------------------------------
+
+
+def add_mod_q(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+    """Broadcast ``(a + b) mod q`` for int64 operands already in
+    ``[0, q)`` — the Hom-Add inner kernel.
+
+    The sum is below ``2q <= 2**63`` so int64 addition is exact; the
+    reduction is a mask for the paper's power-of-two modulus and one
+    conditional subtract otherwise (never a division).
+    """
+    total = a + b
+    if q & (q - 1) == 0:
+        np.bitwise_and(total, q - 1, out=total)
+        return total
+    np.subtract(total, q, out=total, where=total >= q)
+    return total
+
+
+def mul_rows_by_poly(
+    ring: RingContext, rows: np.ndarray, poly: RingPoly
+) -> np.ndarray:
+    """``(m, n)`` coefficient rows (each in ``[0, q)``) times one ring
+    polynomial, mod q — batched on the vectorized backend, a per-row
+    loop on any other backend.  Bit-identical to ``m`` scalar products
+    either way (both paths compute the exact integer convolution)."""
+    backend = ring.backend
+    if isinstance(backend, VectorizedBackend):
+        return backend.mul_rows_by_poly(rows, poly)
+    if rows.shape[0] == 0:
+        return np.empty((0, ring.n), dtype=np.int64)
+    return np.stack([(ring.make(row) * poly).coeffs for row in rows])
+
+
+def scale_rows_to_plaintext(rows: np.ndarray, q: int, t: int) -> np.ndarray:
+    """Vectorized BFV plaintext scaling ``round(t * phase / q) mod t``
+    over any stack of *centered* phase rows — the same arithmetic as
+    :meth:`repro.he.bfv.BFVContext._scale_to_plaintext`, broadcast over
+    leading dimensions."""
+    if t.bit_length() + q.bit_length() <= 62:
+        return (t * rows + q // 2) // q % t
+    scaled = (t * rows.astype(object) + q // 2) // q % t
+    return scaled.astype(np.int64)
+
+
+def center_rows(rows: np.ndarray, q: int) -> np.ndarray:
+    """Lift ``[0, q)`` rows to the centered interval ``(-q/2, q/2]``."""
+    half = q // 2
+    return np.where(rows > half, rows - q, rows)
+
+
+# ---------------------------------------------------------------------------
+# The arena
+# ---------------------------------------------------------------------------
+
+
+class CiphertextArena:
+    """A stack of size-2 ciphertexts as one contiguous int64 array.
+
+    ``stack[j, 0]`` / ``stack[j, 1]`` are the ``c0`` / ``c1``
+    coefficient rows of the j-th ciphertext.  ``base_index`` records
+    which global polynomial the first row corresponds to, so shard
+    slices keep reporting global indices.
+    """
+
+    def __init__(
+        self,
+        ring: RingContext,
+        params: "BFVParams",
+        stack: np.ndarray,
+        base_index: int = 0,
+        _parent: "CiphertextArena | None" = None,
+    ):
+        if stack.ndim != 3 or stack.shape[1] != 2 or stack.shape[2] != ring.n:
+            raise ValueError(
+                f"expected a (num_polys, 2, {ring.n}) stack, got {stack.shape}"
+            )
+        self.ring = ring
+        self.params = params
+        self.stack = stack
+        self.base_index = base_index
+        self._parent = _parent
+        self._lock = threading.Lock()
+        #: cached (sk, phases) pair for client-side batch decryption
+        self._phase_cache: Tuple[object, np.ndarray] | None = None
+        #: cached RNS-limb view of the c1 rows (vectorized backend)
+        self._c1_limbs: np.ndarray | None = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_ciphertexts(
+        cls,
+        ring: RingContext,
+        params: "BFVParams",
+        ciphertexts: Sequence[Ciphertext],
+        base_index: int = 0,
+    ) -> "CiphertextArena":
+        """Stack a list of size-2 ciphertexts (one copy, at build time)."""
+        n = ring.n
+        stack = np.empty((len(ciphertexts), 2, n), dtype=np.int64)
+        for j, ct in enumerate(ciphertexts):
+            if ct.size != 2:
+                raise ValueError("arena requires size-2 ciphertexts")
+            stack[j, 0] = ct.c0.coeffs
+            stack[j, 1] = ct.c1.coeffs
+        return cls(ring, params, stack, base_index)
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def num_polys(self) -> int:
+        return self.stack.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.stack.shape[2]
+
+    @property
+    def c0(self) -> np.ndarray:
+        """``(num_polys, n)`` view of the c0 rows (no copy)."""
+        return self.stack[:, 0]
+
+    @property
+    def c1(self) -> np.ndarray:
+        """``(num_polys, n)`` view of the c1 rows (no copy)."""
+        return self.stack[:, 1]
+
+    def slice(self, start: int, stop: int) -> "CiphertextArena":
+        """Zero-copy sub-arena for rows ``[start, stop)`` — what a
+        serving shard holds.  Phase/limb caches resolve through the
+        parent so per-database work is never recomputed per shard."""
+        return CiphertextArena(
+            self.ring,
+            self.params,
+            self.stack[start:stop],
+            base_index=self.base_index + start,
+            _parent=self,
+        )
+
+    def ciphertext(self, j: int) -> Ciphertext:
+        """Materialize row ``j`` back into a ciphertext object (copies,
+        so callers can't corrupt the arena)."""
+        return Ciphertext(
+            self.params,
+            RingPoly(self.ring, self.stack[j, 0].copy()),
+            RingPoly(self.ring, self.stack[j, 1].copy()),
+        )
+
+    # -- fused kernels -----------------------------------------------------
+
+    def hom_add_broadcast(self, query: np.ndarray) -> np.ndarray:
+        """Hom-Add one query ciphertext — or a ``(V, 2, n)`` stack of
+        them — against *every* arena row in one broadcast kernel.
+
+        Returns ``(num_polys, 2, n)`` for a single query row and
+        ``(V, num_polys, 2, n)`` for a stack: the entire db x variant
+        product with zero per-pair allocations beyond the result."""
+        query = np.asarray(query)
+        if query.ndim == 2:
+            return add_mod_q(self.stack, query[None, :, :], self.params.q)
+        return add_mod_q(
+            self.stack[None, :, :, :], query[:, None, :, :], self.params.q
+        )
+
+    def c1_limbs(self) -> Optional[np.ndarray]:
+        """Cached ``(num_polys, k, n)`` RNS-limb forward transforms of
+        the c1 rows (vectorized backend only; ``None`` elsewhere).
+
+        This is the arena's transform-domain view: batch decryption
+        multiplies these limbs pointwise against the secret key's
+        cached transform, so the database transforms once per process.
+        """
+        parent = self._parent
+        if parent is not None:
+            limbs = parent.c1_limbs()
+            if limbs is None:
+                return None
+            lo = self.base_index - parent.base_index
+            return limbs[lo : lo + self.num_polys]
+        backend = self.ring.backend
+        if not isinstance(backend, VectorizedBackend):
+            return None
+        with self._lock:
+            if self._c1_limbs is None:
+                basis = backend.basis
+                rows = self.c1
+                lifted = (
+                    center_rows(rows, self.params.q)
+                    if basis.center_needed
+                    else rows
+                )
+                self._c1_limbs = basis.forward_batch(lifted)
+            return self._c1_limbs
+
+    def phases(self, sk: "SecretKey") -> np.ndarray:
+        """``(num_polys, n)`` decryption phases ``c0 + c1 * s mod q``
+        of the arena rows, computed once per (arena, secret key).
+
+        Decryption is linear, so the phase of any Hom-Add result is the
+        sum of these rows and the query-side phases — which is what
+        lets :func:`fused_decrypt_flags` decrypt the whole db x variant
+        grid with broadcast adds instead of per-block multiplies.
+        """
+        parent = self._parent
+        if parent is not None:
+            lo = self.base_index - parent.base_index
+            return parent.phases(sk)[lo : lo + self.num_polys]
+        with self._lock:
+            cached = self._phase_cache
+            if cached is not None and cached[0] is sk:
+                return cached[1]
+            q = self.params.q
+            backend = self.ring.backend
+            limbs = None
+            if isinstance(backend, VectorizedBackend):
+                basis = backend.basis
+                limbs = self._c1_limbs
+                if limbs is None:
+                    lifted = (
+                        center_rows(self.c1, q)
+                        if basis.center_needed
+                        else self.c1
+                    )
+                    limbs = basis.forward_batch(lifted)
+                    self._c1_limbs = limbs
+                f_s = backend._forward_cached(sk.s)
+                prod = limbs * f_s % basis._stacked.p
+                inv = basis._stacked.inverse_reduced(prod)
+                c1_s = basis.combine_mod_q(np.moveaxis(inv, 1, 0))
+            else:
+                c1_s = mul_rows_by_poly(self.ring, self.c1, sk.s)
+            phases = add_mod_q(self.c0, c1_s, q)
+            self._phase_cache = (sk, phases)
+            return phases
+
+
+# ---------------------------------------------------------------------------
+# Batch decryption / flag extraction over arbitrary stacked rows
+# ---------------------------------------------------------------------------
+
+
+def decrypt_batch(
+    ring: RingContext,
+    params: "BFVParams",
+    c0_rows: np.ndarray,
+    c1_rows: np.ndarray,
+    sk: "SecretKey",
+) -> np.ndarray:
+    """Decrypt a stack of size-2 ciphertext rows in one batched pass.
+
+    ``c0_rows`` / ``c1_rows`` are ``(m, n)``; all ``c1 * s`` products go
+    through a single stacked NTT pipeline (vectorized backend) instead
+    of one ring multiply per ciphertext.  Returns the ``(m, n)``
+    plaintext coefficient rows, bit-identical to ``m`` scalar
+    :meth:`~repro.he.bfv.BFVContext.decrypt` calls.
+    """
+    q, t = params.q, params.t
+    phase = add_mod_q(c0_rows, mul_rows_by_poly(ring, c1_rows, sk.s), q)
+    return scale_rows_to_plaintext(center_rows(phase, q), q, t)
+
+
+def flags_batch(plaintext_rows: np.ndarray, chunk_width: int) -> np.ndarray:
+    """Vectorized all-ones flag extraction: a bool matrix of the same
+    shape marking every coefficient equal to ``2**w - 1`` (the match
+    value of :func:`repro.core.match_polynomial.match_value`)."""
+    return plaintext_rows == (1 << chunk_width) - 1
+
+
+def fused_decrypt_flags(
+    db_phases: np.ndarray,
+    query_phases: np.ndarray,
+    row_map: np.ndarray,
+    params: "BFVParams",
+    chunk_width: int,
+) -> np.ndarray:
+    """Match flags for a whole db x variant Hom-Add grid from
+    precomputed phases.
+
+    ``db_phases`` is ``(P, n)`` (:meth:`CiphertextArena.phases`),
+    ``query_phases`` is ``(R, n)`` (one row per distinct encrypted
+    query polynomial) and ``row_map`` is ``(V, P)`` mapping each
+    (variant, polynomial) pair to its query row.  Returns the
+    ``(V, P, n)`` boolean flag grid — bit-identical to decrypting every
+    pair's Hom-Add result and comparing against the match polynomial.
+
+    Memory stays bounded: the int64 phase grid is materialized one
+    variant at a time; only the bool output holds the full grid.
+    """
+    q, t = params.q, params.t
+    match = (1 << chunk_width) - 1
+    num_variants, num_polys = row_map.shape
+    flags = np.empty((num_variants, num_polys, db_phases.shape[1]), dtype=bool)
+    for v in range(num_variants):
+        rows = row_map[v]
+        if num_polys and (rows == rows[0]).all():
+            q_phase = query_phases[rows[0]][None, :]
+        else:
+            q_phase = query_phases[rows]
+        phase = add_mod_q(db_phases, q_phase, q)
+        coeffs = scale_rows_to_plaintext(center_rows(phase, q), q, t)
+        flags[v] = coeffs == match
+    return flags
+
+
+# ---------------------------------------------------------------------------
+# Query-side arena
+# ---------------------------------------------------------------------------
+
+
+class QueryArena:
+    """Stacked encrypted query variants for one prepared query.
+
+    One row per *distinct* encrypted query polynomial — the coefficient
+    layout of variant ``v`` against database polynomial ``j`` depends on
+    ``j`` only through ``residue = (j * n) mod span``, so the row count
+    is O(variants), not O(variants x polynomials).  ``rows_for`` supplies
+    the ``(2, n)`` int64 rows (from a freshly encrypted ciphertext, a
+    serving-layer cache, ...).
+    """
+
+    def __init__(
+        self,
+        ring: RingContext,
+        params: "BFVParams",
+        variants: Sequence,
+        num_polynomials: int,
+        rows_for: Callable[[int, int, int], np.ndarray],
+    ):
+        self.ring = ring
+        self.params = params
+        n = ring.n
+        rows: List[np.ndarray] = []
+        row_variant: List[int] = []
+        row_residue: List[int] = []
+        luts: List[np.ndarray] = []
+        for v_idx, variant in enumerate(variants):
+            span = variant.span
+            lut = np.full(span, -1, dtype=np.intp)
+            # distinct residue classes over the whole database, with a
+            # representative polynomial index for the row factory
+            residues = (np.arange(num_polynomials, dtype=np.int64) * n) % span
+            for j in range(num_polynomials):
+                res = int(residues[j])
+                if lut[res] < 0:
+                    lut[res] = len(rows)
+                    rows.append(np.asarray(rows_for(v_idx, res, j), dtype=np.int64))
+                    row_variant.append(v_idx)
+                    row_residue.append(res)
+            luts.append(lut)
+        self.num_variants = len(luts)
+        self.num_polynomials = num_polynomials
+        self.stack = (
+            np.stack(rows) if rows else np.empty((0, 2, n), dtype=np.int64)
+        )
+        self.row_variant = np.asarray(row_variant, dtype=np.intp)
+        self.row_residue = np.asarray(row_residue, dtype=np.intp)
+        self._luts = luts
+        self._lock = threading.Lock()
+        self._phase_cache: Tuple[object, np.ndarray] | None = None
+
+    @property
+    def num_rows(self) -> int:
+        return self.stack.shape[0]
+
+    @property
+    def c0(self) -> np.ndarray:
+        return self.stack[:, 0]
+
+    @property
+    def c1(self) -> np.ndarray:
+        return self.stack[:, 1]
+
+    def row_map(self, poly_indices: np.ndarray) -> np.ndarray:
+        """``(V, P)`` row index per (variant, global polynomial)."""
+        poly_indices = np.asarray(poly_indices, dtype=np.int64)
+        n = self.ring.n
+        out = np.empty((self.num_variants, len(poly_indices)), dtype=np.intp)
+        for v_idx, lut in enumerate(self._luts):
+            out[v_idx] = lut[(poly_indices * n) % len(lut)]
+        return out
+
+    def phases(self, sk: "SecretKey") -> np.ndarray:
+        """``(num_rows, n)`` decryption phases of the query rows,
+        cached per secret key (one batched multiply per query)."""
+        with self._lock:
+            cached = self._phase_cache
+            if cached is not None and cached[0] is sk:
+                return cached[1]
+            q = self.params.q
+            phases = add_mod_q(
+                self.c0, mul_rows_by_poly(self.ring, self.c1, sk.s), q
+            )
+            self._phase_cache = (sk, phases)
+            return phases
+
+
+def stack_ciphertext(ct: Ciphertext) -> np.ndarray:
+    """One ciphertext's ``(2, n)`` arena row (copies; the row outlives
+    the object)."""
+    if ct.size != 2:
+        raise ValueError("arena rows require size-2 ciphertexts")
+    return np.stack([ct.c0.coeffs, ct.c1.coeffs])

@@ -163,6 +163,12 @@ class _StackedNtt:
         a = (coeffs[None, :] % self.p) * self._psi % self.p
         return self._transform(a, self._tw)
 
+    def forward_batch(self, coeffs: np.ndarray) -> np.ndarray:
+        """(m, n) signed coefficient rows -> (m, k, n) limb transforms,
+        all rows and limbs through each butterfly stage at once."""
+        a = (coeffs[:, None, :] % self.p) * self._psi % self.p
+        return self._transform(a, self._tw)
+
     def forward_pair(self, a: np.ndarray, b: np.ndarray):
         return self.forward(a), self.forward(b)
 
@@ -176,18 +182,20 @@ class _StackedNtt:
     def _transform(self, a: np.ndarray, twiddles: list) -> np.ndarray:
         # Invariant: every value stays in [0, p) per row, so the
         # butterfly sums/differences need one conditional fix-up, not a
-        # division.  Twiddle products (< 2**60) fit int64.
+        # division.  Twiddle products (< 2**60) fit int64.  Shapes are
+        # ``(..., k, n)``: the per-limb tables broadcast across any
+        # leading batch dimension.
         p3 = self._p3
-        a = a[:, self._bitrev].copy()
+        a = a[..., self._bitrev].copy()
         length = 1
         for w in twiddles:
-            blocks = a.reshape(a.shape[0], -1, 2 * length)
-            lo = blocks[:, :, :length].copy()
-            hi = blocks[:, :, length:] * w % p3
+            blocks = a.reshape(a.shape[:-1] + (-1, 2 * length))
+            lo = blocks[..., :length].copy()
+            hi = blocks[..., length:] * w % p3
             total = lo + hi
-            blocks[:, :, :length] = np.where(total >= p3, total - p3, total)
+            blocks[..., :length] = np.where(total >= p3, total - p3, total)
             diff = lo - hi
-            blocks[:, :, length:] = np.where(diff < 0, diff + p3, diff)
+            blocks[..., length:] = np.where(diff < 0, diff + p3, diff)
             length *= 2
         return a
 
@@ -320,6 +328,18 @@ class _FourStepNtt:
         z = self._mm_right(y, self._wc)
         return z.reshape(-1, self.n)
 
+    def forward_batch(self, coeffs: np.ndarray) -> np.ndarray:
+        """(m, n) signed coefficient rows -> (m, k, n) transforms.
+
+        The per-limb DFT matrices and twiddles broadcast over the batch
+        axis, so the whole batch rides the same two dgemm chains."""
+        m = coeffs.shape[0]
+        a = (coeffs[:, None, :] % self.p).reshape(m, -1, self.R, self.C)
+        y = self._mm_left(self._wr, a)
+        y = y * self._tw % self._p3
+        z = self._mm_right(y, self._wc)
+        return z.reshape(m, -1, self.n)
+
     def forward_pair(self, a: np.ndarray, b: np.ndarray):
         """Both operands of a product through one batched matmul chain
         (a fresh multiply transforms two polynomials; stacking them
@@ -355,12 +375,13 @@ class _FourStepNtt:
 
     def inverse_reduced(self, values: np.ndarray) -> np.ndarray:
         """Inverse for inputs already reduced to [0, p) per limb — the
-        shape the pointwise product emits."""
-        z = values.reshape(-1, self.R, self.C)
+        shape the pointwise product emits.  Accepts ``(k, n)`` or a
+        batched ``(m, k, n)``; leading dimensions are preserved."""
+        z = values.reshape(values.shape[:-1] + (self.R, self.C))
         y = self._mm_right(z, self._wc_inv)
         y = y * self._tw_inv % self._p3
         a = self._mm_left(self._wr_inv, y)
-        return a.reshape(-1, self.n)
+        return a.reshape(values.shape)
 
 
 #: four-step pays off once the matmuls amortize their setup; below this
@@ -475,6 +496,13 @@ class RnsBasis:
         all limbs at once: ``(n,) -> (k, n)``."""
         return self._stacked.forward(coeffs)
 
+    def forward_batch(self, rows: np.ndarray) -> np.ndarray:
+        """Forward NTT of ``m`` coefficient rows in one stacked pass:
+        ``(m, n) -> (m, k, n)`` — the arena's RNS-limb view."""
+        if rows.shape[0] == 0:
+            return np.empty((0, len(self.primes), self.n), dtype=np.int64)
+        return self._stacked.forward_batch(rows)
+
     def forward_pair(self, a: np.ndarray, b: np.ndarray):
         """Transform both operands of one product in a single batch."""
         return self._stacked.forward_pair(a, b)
@@ -495,11 +523,16 @@ class RnsBasis:
         of the centered representative is read off by a vectorized
         lexicographic compare against the digits of ``M // 2``, and the
         digits are folded into ``[0, q)`` with :func:`mulmod_scalar`.
+
+        ``residues`` is indexed ``[limb, ...]``: the classic single
+        vector is ``(k, n)`` and the batched form ``(k, m, n)`` — every
+        step is elementwise, so the digit shape just rides along.
         """
         residues = np.asarray(residues)
         if self.native:
             return residues[0]
         q = self.q
+        shape = residues.shape[1:]
         digits: List[np.ndarray] = [residues[0]]
         for i in range(1, len(self.primes)):
             p = self.primes[i]
@@ -515,21 +548,21 @@ class RnsBasis:
             t = np.where(t < 0, t + p, t)
             digits.append(t * self._prefix_inv[i] % p)
 
-        negative = np.zeros(self.n, dtype=bool)
-        undecided = np.ones(self.n, dtype=bool)
+        negative = np.zeros(shape, dtype=bool)
+        undecided = np.ones(shape, dtype=bool)
         for i in range(len(self.primes) - 1, -1, -1):
             h = self._half_digits[i]
             negative |= undecided & (digits[i] > h)
             undecided &= digits[i] == h
 
         if self._q_pow2_mask is not None:
-            acc = np.zeros(self.n, dtype=np.uint64)
+            acc = np.zeros(shape, dtype=np.uint64)
             for digit, const in zip(digits, self._fold64):
                 acc += digit.astype(np.uint64) * const
             acc -= np.where(negative, self._m64, np.uint64(0))
             return (acc & self._q_pow2_mask).astype(np.int64)
 
-        out = np.zeros(self.n, dtype=np.int64)
+        out = np.zeros(shape, dtype=np.int64)
         for digit, const in zip(digits, self._fold_consts):
             if const:
                 out = (
@@ -544,6 +577,21 @@ class RnsBasis:
         return self.combine_mod_q(
             self._stacked.inverse_reduced(self.pointwise(fa, fb))
         )
+
+    def mul_rows_by(self, rows: np.ndarray, f_poly: np.ndarray) -> np.ndarray:
+        """Exact negacyclic product of every row of ``(m, n)`` against
+        one transformed polynomial ``(k, n)``, mod q — the fused-kernel
+        primitive behind batch decryption (``c1 * s`` over all result
+        rows) and the batched deterministic comparator (``pk0 * u``).
+
+        One stacked forward pass, one broadcast pointwise product, one
+        stacked inverse, one batched Garner recombination.
+        """
+        if rows.shape[0] == 0:
+            return np.empty((0, self.n), dtype=np.int64)
+        prod = self.forward_batch(rows) * f_poly % self._stacked.p
+        inv = self._stacked.inverse_reduced(prod)
+        return self.combine_mod_q(np.moveaxis(inv, 1, 0))
 
 
 @lru_cache(maxsize=32)
@@ -726,6 +774,20 @@ class VectorizedBackend(PolyBackend):
         return basis.combine_mod_q(
             basis._stacked.inverse_reduced(basis.pointwise(fa, fb))
         )
+
+    def mul_rows_by_poly(self, rows: np.ndarray, poly: "RingPoly") -> np.ndarray:
+        """Batched multiply: every ``(m, n)`` coefficient row (values in
+        ``[0, q)``) times one polynomial, mod q, bit-identical to ``m``
+        separate :meth:`mul_poly` calls.
+
+        The fixed operand reuses (and populates) the same per-poly NTT
+        cache as the scalar path, so a secret key or public key that has
+        ever entered a product transforms exactly once per process.
+        """
+        basis = self.basis
+        f_poly = self._forward_cached(poly)
+        lifted = self.center(rows) if basis.center_needed else rows
+        return basis.mul_rows_by(lifted, f_poly)
 
     # -- other ops --------------------------------------------------------
 

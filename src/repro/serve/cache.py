@@ -13,6 +13,13 @@ encryption draws from the client's (non-thread-safe) RNG, so the miss
 path runs the factory under the cache lock.  Hom-Adds dominate the
 serving cost, so serializing encryption costs little and guarantees each
 key is encrypted at most once per residency.
+
+Values are whatever the serving path caches per (query, variant,
+residue-class): the object search kernel stores
+:class:`~repro.he.bfv.Ciphertext` objects, the fused kernel stores the
+stacked ``(2, n)`` int64 arena rows directly (keyed under a ``"rows"``
+tag so the kernels never collide), which is the form the broadcast
+Hom-Add consumes.
 """
 
 from __future__ import annotations

@@ -23,6 +23,13 @@ Concurrency model
 * The worker completing a query's last shard task finalizes it (index
   generation + decode + verification), so decode of one query overlaps
   the Hom-Adds of the next.
+* Under the fused search kernel (the default — see
+  :mod:`repro.he.arena`) each shard holds a zero-copy slice of the
+  database's ciphertext arena and a shard task reduces to a few
+  broadcast kernels producing that shard's slice of the boolean flag
+  grid; finalize stitches the slices in global polynomial order, so
+  decode — including cross-shard runs — stays byte-identical to the
+  object path.
 """
 
 from __future__ import annotations
@@ -35,11 +42,23 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..he.arena import (
+    CiphertextArena,
+    QueryArena,
+    fused_decrypt_flags,
+    resolve_search_kernel,
+    stack_ciphertext,
+)
 from ..he.bfv import BFVContext, Ciphertext
 from ..verify import VerifyLike
 from ..core.client import CipherMatchClient, ClientConfig
 from ..core.match_polynomial import DeterministicComparator, IndexMode
-from ..core.matcher import AdditionBackend, CPUAdditionBackend, ResultBlock
+from ..core.matcher import (
+    AdditionBackend,
+    CPUAdditionBackend,
+    ResultBlock,
+    comparator_flag_grid,
+)
 from ..core.packing import EncryptedDatabase
 from ..core.pipeline import SearchReport
 from ..core.query import PreparedQuery, variant_cache_key
@@ -59,6 +78,8 @@ class DbShard:
     base_poly: int
     ciphertexts: List[Ciphertext]
     backend: AdditionBackend
+    #: zero-copy view into the database's ciphertext arena (fused kernel)
+    arena: Optional[CiphertextArena] = None
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     hom_adds: int = 0
     tasks_executed: int = 0
@@ -73,14 +94,19 @@ class _QueryJob:
     """One distinct query in flight across all shards."""
 
     def __init__(self, index: int, query_bits: np.ndarray, key: bytes,
-                 prepared: PreparedQuery, num_shards: int):
+                 prepared: PreparedQuery, num_shards: int, fused: bool = False):
         self.index = index
         self.query_bits = query_bits
         self.key = key
         self.prepared = prepared
+        self.fused = fused
         self.blocks: List[ResultBlock] = []
+        #: shard_id -> (V, shard_polys, n) flag grid slice (fused kernel)
+        self.flag_parts: Dict[int, np.ndarray] = {}
+        self.query_arena: Optional[QueryArena] = None
         self.remaining = num_shards
         self.lock = threading.Lock()
+        self.prep_lock = threading.Lock()
         self.finished_at: float = 0.0
         self.report: Optional[SearchReport] = None
 
@@ -112,6 +138,15 @@ class ShardedSearchEngine:
         ``config``.  The vectorized backend is what lets decode — one
         ``c1 * s`` negacyclic multiply per result block — keep up with
         the concurrent Hom-Add stage (see ``docs/backends.md``).
+    search_kernel:
+        Search execution strategy ("fused" / "object"; None defers to
+        the ``REPRO_SEARCH_KERNEL`` process default).  Under the fused
+        kernel every shard holds a zero-copy slice of the database's
+        ciphertext arena and a shard task is a handful of broadcast
+        kernels — no per-pair ciphertext objects, no per-block decrypt
+        multiplies (see ``docs/perf.md``).  Shards whose backends do
+        their own addition (the simulated in-flash IFP backend) force
+        the object path regardless.
     """
 
     def __init__(
@@ -125,6 +160,7 @@ class ShardedSearchEngine:
         cache_capacity: int = 256,
         scheduler: Optional[ServeScheduler] = None,
         poly_backend: Optional[str] = None,
+        search_kernel: Optional[str] = None,
     ):
         if client is None:
             if config is None:
@@ -150,9 +186,13 @@ class ShardedSearchEngine:
         self.scheduler = scheduler or ServeScheduler(
             word_bits=self._word_bits(client.ctx)
         )
+        if search_kernel is not None:
+            resolve_search_kernel(search_kernel)  # validate eagerly
+        self.search_kernel = search_kernel
         self.shards: List[DbShard] = []
         self.db: Optional[EncryptedDatabase] = None
         self._comparator: Optional[DeterministicComparator] = None
+        self._arena_lock = threading.Lock()
 
     @staticmethod
     def _word_bits(ctx: BFVContext) -> int:
@@ -209,6 +249,9 @@ class ShardedSearchEngine:
         and is resolved once, in the client decode step."""
         if self.db is None or not self.shards:
             raise RuntimeError("outsource or adopt a database first")
+        fused = self._fused_active()
+        if fused:
+            self._ensure_shard_arenas()
 
         # Deduplicate identical queries; duplicates share one job/report.
         jobs: List[_QueryJob] = []
@@ -226,6 +269,7 @@ class ShardedSearchEngine:
                     key=key,
                     prepared=self.client.prepare_query(bits),
                     num_shards=len(self.shards),
+                    fused=fused,
                 )
                 by_key[key] = job
                 jobs.append(job)
@@ -253,7 +297,14 @@ class ShardedSearchEngine:
                 try:
                     with shard.lock:
                         depth_samples.append(tasks.qsize())
-                        blocks = self._run_shard_task(shard, job)
+                        if job.fused:
+                            flags_part, hom_adds = self._run_shard_task_fused(
+                                shard, job
+                            )
+                            blocks = None
+                        else:
+                            blocks = self._run_shard_task(shard, job)
+                            hom_adds = len(blocks)
                     with trace_lock:
                         traces.append(
                             # Every batch task enters the queue at t=0;
@@ -262,11 +313,14 @@ class ShardedSearchEngine:
                             ShardTaskTrace(
                                 query_index=job.index,
                                 shard_id=shard.shard_id,
-                                hom_adds=len(blocks),
+                                hom_adds=hom_adds,
                             )
                         )
                     with job.lock:
-                        job.blocks.extend(blocks)
+                        if blocks is None:
+                            job.flag_parts[shard.shard_id] = flags_part
+                        else:
+                            job.blocks.extend(blocks)
                         job.remaining -= 1
                         last = job.remaining == 0
                     if last:
@@ -337,6 +391,108 @@ class ShardedSearchEngine:
             encrypted_db_bytes=self.db.serialized_bytes,
         )
 
+    # -- fused-kernel machinery ------------------------------------------
+
+    def _fused_active(self) -> bool:
+        """True when this batch runs the fused arena kernels: selected
+        (explicitly or by process default) and every shard backend is a
+        plain-CPU adder the broadcast kernels can stand in for."""
+        return resolve_search_kernel(self.search_kernel) == "fused" and all(
+            getattr(shard.backend, "supports_fused", False)
+            for shard in self.shards
+        )
+
+    def _ensure_shard_arenas(self) -> None:
+        """Build the database arena once and hand every shard its
+        zero-copy row slice.  Re-slices whenever the database rebuilt
+        its arena (``EncryptedDatabase.invalidate_caches`` after an
+        in-place mutation), so shards never serve stale coefficients."""
+        with self._arena_lock:
+            if not self.shards:
+                return
+            ctx = self.client.ctx
+            arena = self.db.fused_arena(ctx.ring, ctx.params)
+            first = self.shards[0].arena
+            if first is not None and first._parent is arena:
+                return
+            for shard in self.shards:
+                shard.arena = arena.slice(
+                    shard.base_poly, shard.base_poly + shard.num_polynomials
+                )
+
+    def _job_query_arena(self, job: _QueryJob) -> QueryArena:
+        """The job's stacked query-variant rows, built by the first
+        shard task to need them.  Rows live in the shared
+        :class:`VariantCipherCache` (as ``(2, n)`` int64 stacks — the
+        fused path never holds ciphertext objects), so repeated queries
+        across batches skip encryption entirely."""
+        with job.prep_lock:
+            if job.query_arena is None:
+                det_seed = None
+                if self.config.index_mode is IndexMode.SERVER_DETERMINISTIC:
+                    det_seed = self.config.deterministic_seed
+                ctx = self.client.ctx
+
+                def rows_for(v_idx: int, residue: int, j: int) -> np.ndarray:
+                    return self.cache.get_or_create(
+                        ("rows", job.key, v_idx, residue),
+                        lambda: stack_ciphertext(
+                            self.client.preparer.encrypt_variant_value(
+                                job.prepared, v_idx, residue, self.client.pk,
+                                deterministic_seed=det_seed,
+                            )
+                        ),
+                    )
+
+                job.query_arena = QueryArena(
+                    ctx.ring,
+                    ctx.params,
+                    job.prepared.variants,
+                    self.db.num_polynomials,
+                    rows_for,
+                )
+            return job.query_arena
+
+    def _run_shard_task_fused(
+        self, shard: DbShard, job: _QueryJob
+    ) -> tuple:
+        """Fused equivalent of :meth:`_run_shard_task`: the shard's
+        whole db x variant product — Hom-Add, index generation and flag
+        extraction — as broadcast kernels over the shard's arena slice.
+
+        Returns ``(flags, hom_adds)`` where ``flags`` is the shard's
+        ``(V, shard_polys, n)`` boolean slice of the global flag grid
+        and ``hom_adds`` the logical Hom-Add count (identical to the
+        object path's block count for this shard).
+        """
+        t0 = time.perf_counter()
+        ctx = self.client.ctx
+        query_arena = self._job_query_arena(job)
+        polys = np.arange(
+            shard.base_poly,
+            shard.base_poly + shard.num_polynomials,
+            dtype=np.int64,
+        )
+        row_map = query_arena.row_map(polys)
+        if self._comparator is not None:
+            flags = comparator_flag_grid(
+                self._comparator, shard.arena, query_arena, row_map, polys
+            )
+        else:
+            flags = fused_decrypt_flags(
+                shard.arena.phases(self.client.sk),
+                query_arena.phases(self.client.sk),
+                row_map,
+                ctx.params,
+                self.client.chunk_width,
+            )
+        hom_adds = job.prepared.num_variants * shard.num_polynomials
+        ctx.counter.additions += hom_adds
+        shard.busy_seconds += time.perf_counter() - t0
+        shard.hom_adds += hom_adds
+        shard.tasks_executed += 1
+        return flags, hom_adds
+
     # -- shard execution -------------------------------------------------
 
     def _run_shard_task(self, shard: DbShard, job: _QueryJob) -> List[ResultBlock]:
@@ -379,7 +535,9 @@ class ShardedSearchEngine:
     # -- result merge + decode -------------------------------------------
 
     def _finalize(self, job: _QueryJob, *, verify: bool) -> SearchReport:
-        """Merge per-shard blocks and decode exactly like the pipeline."""
+        """Merge per-shard results and decode exactly like the pipeline."""
+        if job.fused:
+            return self._finalize_fused(job, verify=verify)
         blocks = sorted(job.blocks, key=lambda b: (b.variant_index, b.poly_index))
         if self._comparator is not None:
             flags = {
@@ -400,5 +558,30 @@ class ShardedSearchEngine:
             candidates=candidates,
             hom_additions=len(blocks),
             num_variants=job.prepared.num_variants,
+            encrypted_db_bytes=self.db.serialized_bytes,
+        )
+
+    def _finalize_fused(self, job: _QueryJob, *, verify: bool) -> SearchReport:
+        """Stitch the per-shard flag slices back into the global
+        ``(V, P, n)`` grid (global polynomial order, so cross-shard runs
+        decode exactly like a single-engine pass) and decode."""
+        num_variants = job.prepared.num_variants
+        num_polys = self.db.num_polynomials
+        flags = np.empty((num_variants, num_polys, self.db.n), dtype=bool)
+        for shard in self.shards:
+            flags[
+                :, shard.base_poly : shard.base_poly + shard.num_polynomials
+            ] = job.flag_parts[shard.shard_id]
+        if self._comparator is None:
+            # same logical decrypt count as the per-block object decode
+            self.client.ctx.counter.decryptions += num_variants * num_polys
+        candidates = self.client.decode_flags_matrix(
+            job.prepared, flags, self.db, verify=verify
+        )
+        return SearchReport(
+            matches=[c.offset for c in candidates],
+            candidates=candidates,
+            hom_additions=num_variants * num_polys,
+            num_variants=num_variants,
             encrypted_db_bytes=self.db.serialized_bytes,
         )

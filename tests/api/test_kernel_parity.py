@@ -1,0 +1,201 @@
+"""Fused-vs-object search-kernel parity across the api engines.
+
+The acceptance bar of the fused arena kernels: every registered engine
+built on the core CIPHERMATCH matcher (the pipeline, the wire protocol
+and the sharded serving engine) produces *identical*
+``MatchCandidate``/match lists — and, at the flag level, byte-identical
+decrypted flag vectors — whichever ``search_kernel`` executes the
+search, including deterministic-seed (server-side index generation)
+mode and merges that span shard boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import DEFAULT_REGISTRY
+from repro.baselines import find_all_matches
+from repro.core import ClientConfig, IndexMode, SecureStringMatchPipeline
+from repro.core.matcher import FusedResultSet
+from repro.he import BFVParams
+
+#: engines built on the core matcher, with kwargs mirroring
+#: tests/api/test_parity.py (plus per-engine shard counts)
+CORE_ENGINE_KWARGS = {
+    "bfv": {"key_seed": 11},
+    "bfv-sharded": {"key_seed": 13, "num_shards": 2},
+}
+
+
+@pytest.mark.parametrize("key", list(CORE_ENGINE_KWARGS))
+@pytest.mark.parametrize("kernel", ["object", "fused"])
+def test_kernel_matches_oracle_and_peer(key, kernel, master_fixture):
+    caps = DEFAULT_REGISTRY.spec(key).capabilities
+    db_view, query = master_fixture.view(caps)
+    with repro.open_session(
+        key, db_bits=db_view, search_kernel=kernel, **CORE_ENGINE_KWARGS[key]
+    ) as session:
+        result = session.search(query)
+    expected = find_all_matches(db_view, query)
+    assert list(result.matches) == expected
+    # the fixture's third occurrence straddles the 2-shard boundary
+    if key == "bfv-sharded":
+        assert 1008 in result.matches
+
+
+@pytest.mark.parametrize("key", list(CORE_ENGINE_KWARGS))
+def test_hom_op_tally_identical_across_kernels(key, master_fixture):
+    """HomOpTally must not change meaning between kernels."""
+    caps = DEFAULT_REGISTRY.spec(key).capabilities
+    db_view, query = master_fixture.view(caps)
+    tallies = {}
+    for kernel in ("object", "fused"):
+        with repro.open_session(
+            key,
+            db_bits=db_view,
+            search_kernel=kernel,
+            **CORE_ENGINE_KWARGS[key],
+        ) as session:
+            tallies[kernel] = session.search(query).hom_ops
+    assert tallies["object"] == tallies["fused"]
+    assert tallies["fused"].additions > 0
+
+
+@pytest.mark.parametrize(
+    "index_mode", [IndexMode.CLIENT_DECRYPT, IndexMode.SERVER_DETERMINISTIC]
+)
+def test_pipeline_flags_byte_identical(index_mode, master_fixture):
+    """At the flag level: the fused kernels produce byte-identical
+    decrypted/compared flag vectors for every (variant, polynomial)
+    result block, in both index-generation modes."""
+    db_bits = master_fixture.db_bits
+    query = master_fixture.query_bits
+    pipes = {}
+    for kernel in ("object", "fused"):
+        pipe = SecureStringMatchPipeline(
+            ClientConfig(
+                BFVParams.test_small(64), key_seed=21, index_mode=index_mode
+            ),
+            search_kernel=kernel,
+        )
+        pipe.outsource_database(db_bits)
+        pipes[kernel] = pipe
+
+    def flags_of(pipe):
+        prepared = pipe.client.prepare_query(query)
+        blocks = pipe.server.search(
+            prepared, lambda v, j: pipe.client.encrypt_variant(prepared, v, j)
+        )
+        if index_mode is IndexMode.SERVER_DETERMINISTIC:
+            return prepared, pipe.server.generate_index(blocks)
+        if isinstance(blocks, FusedResultSet):
+            grid = blocks.flags_by_decryption(pipe.client.sk)
+            return prepared, {
+                (v, j): grid[v, j]
+                for v in range(blocks.num_variants)
+                for j in range(blocks.num_polynomials)
+            }
+        from repro.core.match_polynomial import flag_matches_by_decryption
+
+        return prepared, {
+            (b.variant_index, b.poly_index): flag_matches_by_decryption(
+                pipe.client.ctx, b.ciphertext, pipe.client.sk, 16
+            )
+            for b in blocks
+        }
+
+    prep_o, flags_o = flags_of(pipes["object"])
+    prep_f, flags_f = flags_of(pipes["fused"])
+    assert pipes["fused"].server.uses_fused_kernel()
+    assert not pipes["object"].server.uses_fused_kernel()
+    assert flags_o.keys() == flags_f.keys()
+    for key in flags_o:
+        assert np.asarray(flags_o[key]).tobytes() == np.asarray(
+            flags_f[key]
+        ).tobytes(), f"flag vector diverged for block {key}"
+    # and the decoded candidate lists agree in every field
+    dec_o = pipes["object"].client.decode_server_flags(
+        prep_o, flags_o, pipes["object"].db, verify=False
+    )
+    dec_f = pipes["fused"].client.decode_server_flags(
+        prep_f, flags_f, pipes["fused"].db, verify=False
+    )
+    assert dec_o == dec_f
+
+
+def test_candidate_lists_identical_with_and_without_verify(master_fixture):
+    db_bits = master_fixture.db_bits
+    query = master_fixture.query_bits
+    for verify in (True, False):
+        candidates = {}
+        for kernel in ("object", "fused"):
+            pipe = SecureStringMatchPipeline(
+                ClientConfig(BFVParams.test_small(64), key_seed=23),
+                search_kernel=kernel,
+            )
+            pipe.outsource_database(db_bits)
+            candidates[kernel] = pipe.search(query, verify=verify).candidates
+        assert candidates["object"] == candidates["fused"]
+
+
+def test_sharded_cross_shard_merge_identical(master_fixture):
+    """Sharded merges: every shard count produces the same matches under
+    both kernels, including the occurrence straddling shard boundaries."""
+    db_bits = master_fixture.db_bits
+    query = master_fixture.query_bits
+    results = {}
+    for kernel in ("object", "fused"):
+        for shards in (1, 2, 3):
+            with repro.open_session(
+                "bfv-sharded",
+                db_bits=db_bits,
+                key_seed=13,
+                num_shards=shards,
+                search_kernel=kernel,
+            ) as session:
+                results[(kernel, shards)] = list(session.search(query).matches)
+    baseline = results[("object", 1)]
+    assert 1008 in baseline
+    for key, matches in results.items():
+        assert matches == baseline, key
+
+
+def test_env_var_selects_kernel(monkeypatch, master_fixture):
+    """REPRO_SEARCH_KERNEL threads through to the server dispatch."""
+    db_view = master_fixture.db_bits[:512]
+    query = master_fixture.query_bits
+    for env in ("object", "fused"):
+        monkeypatch.setenv("REPRO_SEARCH_KERNEL", env)
+        pipe = SecureStringMatchPipeline(
+            ClientConfig(BFVParams.test_small(64), key_seed=29)
+        )
+        pipe.outsource_database(db_view)
+        assert pipe.server.uses_fused_kernel() == (env == "fused")
+        assert pipe.search(query).matches == find_all_matches(db_view, query)
+
+
+def test_deterministic_seed_mode_sharded_parity(master_fixture):
+    """Deterministic-seed (server-side index) mode through the sharded
+    engine: both kernels, same matches, same hom-add accounting."""
+    db_bits = master_fixture.db_bits
+    query = master_fixture.query_bits
+    from repro.serve import ShardedSearchEngine
+
+    reports = {}
+    for kernel in ("object", "fused"):
+        engine = ShardedSearchEngine(
+            ClientConfig(
+                BFVParams.test_small(64),
+                key_seed=31,
+                index_mode=IndexMode.SERVER_DETERMINISTIC,
+            ),
+            num_shards=2,
+            search_kernel=kernel,
+        )
+        engine.outsource(db_bits)
+        reports[kernel] = engine.search(query)
+    assert reports["object"].matches == reports["fused"].matches
+    assert reports["object"].hom_additions == reports["fused"].hom_additions
+    assert 1008 in reports["fused"].matches

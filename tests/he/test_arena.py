@@ -1,0 +1,282 @@
+"""Parity of the ciphertext-arena fused kernels against the scalar path.
+
+Every fused kernel (broadcast Hom-Add, batched NTT multiply, batch
+decryption, flag extraction, phase linearity) must be *bit-for-bit*
+equal to the corresponding per-object operations on both polynomial
+backends.  The grid pins the structurally distinct modulus regimes;
+hypothesis explores random coefficient patterns in between.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.he.arena import (
+    KERNEL_ENV_VAR,
+    CiphertextArena,
+    QueryArena,
+    add_mod_q,
+    decrypt_batch,
+    flags_batch,
+    fused_decrypt_flags,
+    get_default_search_kernel,
+    mul_rows_by_poly,
+    resolve_search_kernel,
+    scale_rows_to_plaintext,
+    set_default_search_kernel,
+    stack_ciphertext,
+)
+from repro.he.backend import get_rns_basis
+from repro.he.bfv import BFVContext
+from repro.he.keys import generate_keys
+from repro.he.params import BFVParams
+from repro.he.poly import RingContext
+
+#: modulus regimes: power-of-two (paper), native NTT prime, odd
+#: composite with RNS limbs, near the 2**62 cap
+MODULI = [1 << 32, 12289, (1 << 40) + 123, (1 << 62) - 57]
+
+
+# ---------------------------------------------------------------------------
+# Low-level kernels
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("q", MODULI)
+@pytest.mark.parametrize("n", [8, 64, 256])
+def test_add_mod_q_matches_numpy_mod(n, q):
+    rng = np.random.default_rng(n)
+    a = rng.integers(0, q, size=(5, n), dtype=np.int64)
+    b = rng.integers(0, q, size=(5, n), dtype=np.int64)
+    assert np.array_equal(add_mod_q(a, b, q), (a + b) % q)
+    # broadcast shape
+    assert np.array_equal(add_mod_q(a[None], b[:, None], q), (a[None] + b[:, None]) % q)
+
+
+@pytest.mark.parametrize("q", MODULI)
+@pytest.mark.parametrize("backend", ["vectorized", "reference"])
+@pytest.mark.parametrize("n", [64, 256])
+def test_mul_rows_by_poly_matches_scalar_products(n, q, backend):
+    ring = RingContext(n, q, backend=backend)
+    rng = np.random.default_rng(q % 9973 + n)
+    rows = rng.integers(0, q, size=(6, n), dtype=np.int64)
+    poly = ring.make(rng.integers(0, q, size=n, dtype=np.int64))
+    got = mul_rows_by_poly(ring, rows, poly)
+    want = np.stack([(ring.make(r) * poly).coeffs for r in rows])
+    assert np.array_equal(got, want)
+
+
+def test_mul_rows_by_poly_empty():
+    ring = RingContext(64, 1 << 32)
+    poly = ring.make(np.arange(64))
+    out = mul_rows_by_poly(ring, np.empty((0, 64), dtype=np.int64), poly)
+    assert out.shape == (0, 64)
+
+
+@pytest.mark.parametrize("n", [32, 128, 512])
+def test_forward_batch_matches_per_row_forward(n):
+    q = 1 << 32
+    basis = get_rns_basis(n, q)
+    rng = np.random.default_rng(n)
+    rows = rng.integers(-(q // 2), q // 2, size=(4, n), dtype=np.int64)
+    batch = basis.forward_batch(rows)
+    for i, row in enumerate(rows):
+        assert np.array_equal(batch[i], basis.forward(row))
+
+
+@given(st.integers(0, 2**62 - 58), st.integers(0, 2**62 - 58))
+@settings(max_examples=30, deadline=None)
+def test_scale_rows_matches_bfv_scaling(c0, c1):
+    """The vectorized plaintext scaling equals BFVContext's on the
+    centered phase, including the big-int fallback regime."""
+    for q, t in [(1 << 32, 1 << 16), ((1 << 62) - 57, 1 << 16)]:
+        phase = np.array([[c0 % q, c1 % q]], dtype=np.int64)
+        half = q // 2
+        centered = np.where(phase > half, phase - q, phase)
+        got = scale_rows_to_plaintext(centered, q, t)
+        want = [(t * int(c) + q // 2) // q % t for c in centered[0]]
+        assert got.tolist() == [want]
+
+
+# ---------------------------------------------------------------------------
+# Arena vs object-path ciphertext operations
+# ---------------------------------------------------------------------------
+
+
+def _setup(n=64, seed=11, backend=None):
+    params = BFVParams.test_small(n)
+    ctx = BFVContext(params, seed=seed, backend=backend)
+    sk, pk, _, _ = generate_keys(params, seed, backend=backend)
+    rng = np.random.default_rng(seed)
+    pts = [
+        ctx.plaintext(rng.integers(0, params.t, size=n, dtype=np.int64))
+        for _ in range(5)
+    ]
+    cts = [ctx.encrypt(pt, pk) for pt in pts]
+    return params, ctx, sk, pk, cts
+
+
+@pytest.mark.parametrize("backend", ["vectorized", "reference"])
+def test_hom_add_broadcast_matches_ctx_add(backend):
+    params, ctx, sk, pk, cts = _setup(backend=backend)
+    arena = CiphertextArena.from_ciphertexts(ctx.ring, params, cts)
+    rng = np.random.default_rng(3)
+    q_cts = [
+        ctx.encrypt(ctx.plaintext(rng.integers(0, params.t, size=64)), pk)
+        for _ in range(3)
+    ]
+    stack = np.stack([stack_ciphertext(ct) for ct in q_cts])
+    grid = arena.hom_add_broadcast(stack)
+    assert grid.shape == (3, len(cts), 2, 64)
+    for v, q_ct in enumerate(q_cts):
+        for j, db_ct in enumerate(cts):
+            expect = ctx.add(db_ct, q_ct)
+            assert np.array_equal(grid[v, j, 0], expect.c0.coeffs)
+            assert np.array_equal(grid[v, j, 1], expect.c1.coeffs)
+    # single-row form
+    one = arena.hom_add_broadcast(stack[0])
+    assert np.array_equal(one, grid[0])
+
+
+@pytest.mark.parametrize("backend", ["vectorized", "reference"])
+def test_decrypt_batch_matches_ctx_decrypt(backend):
+    params, ctx, sk, pk, cts = _setup(backend=backend)
+    arena = CiphertextArena.from_ciphertexts(ctx.ring, params, cts)
+    dec = decrypt_batch(ctx.ring, params, arena.c0, arena.c1, sk)
+    for j, ct in enumerate(cts):
+        assert np.array_equal(dec[j], ctx.decrypt(ct, sk).poly.coeffs)
+    flags = flags_batch(dec, chunk_width=16)
+    want = dec == (1 << 16) - 1
+    assert np.array_equal(flags, want)
+
+
+@pytest.mark.parametrize("backend", ["vectorized", "reference"])
+def test_phase_linearity_equals_result_decryption(backend):
+    """phase(db) + phase(query) mod q decrypts the Hom-Add result —
+    the identity the fused decrypt kernel rides."""
+    params, ctx, sk, pk, cts = _setup(backend=backend)
+    arena = CiphertextArena.from_ciphertexts(ctx.ring, params, cts)
+    rng = np.random.default_rng(4)
+    q_ct = ctx.encrypt(ctx.plaintext(rng.integers(0, params.t, size=64)), pk)
+    q_row = stack_ciphertext(q_ct)[None]
+    q_phase = add_mod_q(
+        q_row[:, 0], mul_rows_by_poly(ctx.ring, q_row[:, 1], sk.s), params.q
+    )
+    row_map = np.zeros((1, len(cts)), dtype=np.intp)
+    flags = fused_decrypt_flags(
+        arena.phases(sk), q_phase, row_map, params, chunk_width=16
+    )
+    for j, db_ct in enumerate(cts):
+        result = ctx.add(db_ct, q_ct)
+        want = ctx.decrypt(result, sk).poly.coeffs == (1 << 16) - 1
+        assert np.array_equal(flags[0, j], want)
+
+
+def test_arena_phase_cache_and_slice_views():
+    params, ctx, sk, pk, cts = _setup()
+    arena = CiphertextArena.from_ciphertexts(ctx.ring, params, cts)
+    phases = arena.phases(sk)
+    assert arena.phases(sk) is phases  # cached per sk
+    part = arena.slice(1, 4)
+    assert part.base_index == 1
+    assert part.num_polys == 3
+    # slices share memory with the parent stack and its phase cache
+    assert part.stack.base is arena.stack
+    assert np.array_equal(part.phases(sk), phases[1:4])
+    ct = part.ciphertext(0)
+    assert ct == cts[1]
+
+
+def test_arena_rejects_bad_shapes():
+    params, ctx, sk, pk, cts = _setup()
+    with pytest.raises(ValueError):
+        CiphertextArena(ctx.ring, params, np.zeros((2, 3, 64), dtype=np.int64))
+    tensored = cts[0].copy()
+    tensored.c2 = cts[1].c0
+    with pytest.raises(ValueError):
+        CiphertextArena.from_ciphertexts(ctx.ring, params, [tensored])
+    with pytest.raises(ValueError):
+        stack_ciphertext(tensored)
+
+
+@given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+@settings(max_examples=25, deadline=None)
+def test_hypothesis_roundtrip_add_decrypt_flags(m_db, m_q):
+    """Random plaintext pair: fused add+decrypt flags the all-ones
+    coefficient exactly when the chunk sum is all-ones."""
+    params, ctx, sk, pk, _ = _setup(n=16)
+    db_ct = ctx.encrypt(ctx.plaintext(np.full(16, m_db, dtype=np.int64)), pk)
+    q_ct = ctx.encrypt(ctx.plaintext(np.full(16, m_q, dtype=np.int64)), pk)
+    arena = CiphertextArena.from_ciphertexts(ctx.ring, params, [db_ct])
+    grid = arena.hom_add_broadcast(stack_ciphertext(q_ct))
+    dec = decrypt_batch(ctx.ring, params, grid[:, 0], grid[:, 1], sk)
+    want = ctx.decrypt(ctx.add(db_ct, q_ct), sk).poly.coeffs
+    assert np.array_equal(dec[0], want)
+    flags = flags_batch(dec, chunk_width=16)
+    assert bool(flags[0, 0]) == ((m_db + m_q) % (1 << 16) == (1 << 16) - 1)
+
+
+# ---------------------------------------------------------------------------
+# Query arena
+# ---------------------------------------------------------------------------
+
+
+def test_query_arena_rows_and_map_cover_residue_classes():
+    params, ctx, sk, pk, cts = _setup()
+    from repro.core.query import QueryPreparer
+
+    preparer = QueryPreparer(ctx, 16)
+    rng = np.random.default_rng(8)
+    prepared = preparer.prepare(rng.integers(0, 2, 48).astype(np.uint8))
+    calls = []
+
+    def rows_for(v_idx, residue, j):
+        calls.append((v_idx, residue))
+        ct = preparer.encrypt_variant(prepared, v_idx, j, pk)
+        return stack_ciphertext(ct)
+
+    num_polys = 7
+    qa = QueryArena(ctx.ring, params, prepared.variants, num_polys, rows_for)
+    assert len(calls) == len(set(calls)) == qa.num_rows  # one row per class
+    row_map = qa.row_map(np.arange(num_polys))
+    assert row_map.shape == (prepared.num_variants, num_polys)
+    n = ctx.params.n
+    for v_idx, variant in enumerate(prepared.variants):
+        for j in range(num_polys):
+            row = row_map[v_idx, j]
+            assert qa.row_variant[row] == v_idx
+            assert qa.row_residue[row] == (j * n) % variant.span
+    # phases cached per secret key
+    assert qa.phases(sk) is qa.phases(sk)
+
+
+# ---------------------------------------------------------------------------
+# Kernel selection plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_kernel_selection_default_and_env(monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+    set_default_search_kernel(None)
+    assert get_default_search_kernel() == "fused"
+    monkeypatch.setenv(KERNEL_ENV_VAR, "object")
+    assert get_default_search_kernel() == "object"
+    assert resolve_search_kernel(None) == "object"
+    assert resolve_search_kernel("fused") == "fused"
+    set_default_search_kernel("fused")
+    assert get_default_search_kernel() == "fused"  # explicit beats env
+    set_default_search_kernel(None)
+
+
+def test_kernel_selection_rejects_unknown(monkeypatch):
+    with pytest.raises(ValueError):
+        set_default_search_kernel("simd")
+    with pytest.raises(ValueError):
+        resolve_search_kernel("simd")
+    monkeypatch.setenv(KERNEL_ENV_VAR, "simd")
+    set_default_search_kernel(None)
+    with pytest.raises(ValueError):
+        get_default_search_kernel()

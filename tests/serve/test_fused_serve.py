@@ -1,0 +1,192 @@
+"""Fused-kernel behavior specific to the sharded serving engine:
+arena slices on shards, stacked variant rows in the LRU cache, fused
+accounting in the serve report, and fallback to the object path for
+backends that do their own addition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClientConfig, CPUAdditionBackend, IndexMode
+from repro.he import BFVParams
+from repro.serve import ShardedSearchEngine
+from repro.utils.bits import random_bits
+
+
+def _workload(num_polys=6, num_queries=4, seed=41):
+    rng = np.random.default_rng(seed)
+    params = BFVParams.test_small(64)
+    db = random_bits(num_polys * params.n * 16, rng)
+    queries = []
+    for k in range(num_queries):
+        q = random_bits(32, rng)
+        off = 16 * (5 + 47 * k)
+        db[off : off + 32] = q
+        queries.append(q)
+    return params, db, queries
+
+
+def _engine(params, kernel, *, num_shards=3, **kwargs):
+    return ShardedSearchEngine(
+        ClientConfig(params, key_seed=41, **kwargs),
+        num_shards=num_shards,
+        search_kernel=kernel,
+    )
+
+
+def test_fused_batch_matches_object_batch_and_report_fields():
+    params, db, queries = _workload()
+    reports = {}
+    for kernel in ("object", "fused"):
+        engine = _engine(params, kernel)
+        engine.outsource(db)
+        reports[kernel] = engine.search_batch(queries + [queries[0]])
+    o, f = reports["object"], reports["fused"]
+    assert o.matches_per_query() == f.matches_per_query()
+    assert [r.hom_additions for r in o.reports] == [
+        r.hom_additions for r in f.reports
+    ]
+    assert o.deduplicated_hits == f.deduplicated_hits == 1
+    assert sum(s.hom_adds for s in f.shards) == sum(s.hom_adds for s in o.shards)
+    assert all(s.tasks_executed > 0 for s in f.shards)
+
+
+def test_shards_hold_zero_copy_arena_slices():
+    params, db, queries = _workload()
+    engine = _engine(params, "fused")
+    engine.outsource(db)
+    engine.search_batch(queries[:1])
+    arena = engine.db.fused_arena(engine.client.ctx.ring, engine.client.ctx.params)
+    base = 0
+    for shard in engine.shards:
+        assert shard.arena is not None
+        assert shard.arena.base_index == shard.base_poly == base
+        assert shard.arena.num_polys == shard.num_polynomials
+        assert shard.arena.stack.base is arena.stack  # view, not copy
+        base += shard.num_polynomials
+    assert base == engine.db.num_polynomials
+
+
+def test_variant_cache_stores_stacked_rows_under_fused():
+    params, db, queries = _workload()
+    engine = _engine(params, "fused")
+    engine.outsource(db)
+    engine.search_batch(queries[:2])
+    stats = engine.cache.stats()
+    assert stats.misses > 0
+    rows = [v for v in engine.cache._entries.values()]
+    assert rows and all(isinstance(v, np.ndarray) for v in rows)
+    assert all(v.shape == (2, params.n) for v in rows)
+    # repeated batch: every variant row is a cache hit
+    misses_before = engine.cache.stats().misses
+    engine.search_batch(queries[:2])
+    assert engine.cache.stats().misses == misses_before
+
+
+def test_object_kernel_still_caches_ciphertext_objects():
+    from repro.he import Ciphertext
+
+    params, db, queries = _workload()
+    engine = _engine(params, "object")
+    engine.outsource(db)
+    engine.search_batch(queries[:1])
+    values = list(engine.cache._entries.values())
+    assert values and all(isinstance(v, Ciphertext) for v in values)
+
+
+def test_stateful_backend_forces_object_path():
+    """A backend without ``supports_fused`` (e.g. the simulated IFP
+    adder) must take the object path even when fused is requested."""
+
+    class CountingBackend(CPUAdditionBackend):
+        supports_fused = False
+
+        def __init__(self, ctx):
+            super().__init__(ctx)
+            self.calls = 0
+
+        def hom_add(self, a, b):
+            self.calls += 1
+            return super().hom_add(a, b)
+
+    params, db, queries = _workload(num_polys=3)
+    backends = []
+
+    def factory(ctx, shard_id):
+        backend = CountingBackend(ctx)
+        backends.append(backend)
+        return backend
+
+    engine = ShardedSearchEngine(
+        ClientConfig(params, key_seed=41),
+        num_shards=2,
+        search_kernel="fused",
+        backend_factory=factory,
+    )
+    engine.outsource(db)
+    assert not engine._fused_active()
+    report = engine.search_batch(queries[:1])
+    assert sum(b.calls for b in backends) == report.reports[0].hom_additions > 0
+
+
+def test_fused_deterministic_mode_uses_comparator_batch():
+    params, db, queries = _workload()
+    reports = {}
+    for kernel in ("object", "fused"):
+        engine = _engine(
+            params, kernel, index_mode=IndexMode.SERVER_DETERMINISTIC
+        )
+        engine.outsource(db)
+        reports[kernel] = engine.search_batch(queries)
+    assert (
+        reports["object"].matches_per_query()
+        == reports["fused"].matches_per_query()
+    )
+
+
+def test_rejects_unknown_kernel():
+    params, _, _ = _workload(num_polys=1, num_queries=1)
+    with pytest.raises(ValueError):
+        ShardedSearchEngine(
+            ClientConfig(params, key_seed=1), search_kernel="simd"
+        )
+
+
+def test_invalidate_caches_reslices_shard_arenas():
+    """After in-place mutation + invalidate_caches(), fused shards must
+    re-slice the rebuilt arena instead of serving stale coefficients."""
+    params, db, queries = _workload(num_polys=4)
+    engine = _engine(params, "fused", num_shards=2)
+    engine.outsource(db)
+    before = engine.search_batch(queries[:1]).reports[0].matches
+    assert before
+    # wipe the polynomial holding the planted match, the way an
+    # in-place database update would
+    zero_pt = engine.client.ctx.plaintext(np.zeros(params.n, dtype=np.int64))
+    engine.db.ciphertexts[0] = engine.client.ctx.encrypt(
+        zero_pt, engine.client.pk
+    )
+    engine.db.invalidate_caches()
+    after_fused = engine.search_batch(queries[:1]).reports[0].matches
+    object_engine = ShardedSearchEngine(
+        client=engine.client, num_shards=2, search_kernel="object"
+    )
+    object_engine.adopt_database(engine.db)
+    after_object = object_engine.search_batch(queries[:1]).reports[0].matches
+    assert after_fused == after_object
+    assert before != after_fused
+
+
+def test_adopt_database_resets_arena_slices():
+    params, db, queries = _workload(num_polys=4)
+    engine = _engine(params, "fused")
+    engine.outsource(db)
+    engine.search_batch(queries[:1])
+    old_arenas = [s.arena for s in engine.shards]
+    assert all(a is not None for a in old_arenas)
+    db2 = engine.client.outsource(db)
+    engine.adopt_database(db2)
+    assert all(s.arena is None for s in engine.shards)
+    report = engine.search_batch(queries[:1])
+    assert report.reports[0].matches
