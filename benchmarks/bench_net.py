@@ -1,0 +1,155 @@
+"""Networked vs in-process serving throughput over the fused engine.
+
+Boots a loopback :class:`repro.net.ServiceThread` around a 4-shard
+``bfv-sharded`` engine and drives the same deterministic query batch
+two ways:
+
+* **in-process** — ``Engine.execute(BatchSearch)`` straight into the
+  serve pool (the PR-4 fast path);
+* **networked** — :class:`repro.net.Client` ``search_batch`` through
+  CMN1 frames over real TCP (encode, socket, decode, admission
+  control), landing on an identical engine.
+
+Both lanes must return identical matches; the table reports sustained
+batch QPS per lane plus the per-query wire overhead so the network
+cost is accounted explicitly, not hidden in a ratio.  Runs standalone
+(``python benchmarks/bench_net.py``) or under pytest.  ``--quick``
+shrinks the rep count and **exits non-zero if networked throughput
+falls below 0.5x in-process** — the CI bench-smoke gate (acceptance:
+networked >= 0.5x at 4 shards).
+
+All RNG seeds are pinned (--seed, default 23) so the CI gate replays
+the exact same workload on every run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from _util import emit
+
+from repro.api import BatchSearch, ShardedEngine
+from repro.eval.tables import format_table
+from repro.he import BFVParams
+from repro.net import Client, ServiceThread
+from repro.utils.bits import random_bits
+
+NUM_SHARDS = 4
+GATE_RATIO = 0.5
+
+
+def _workload(seed: int, num_queries: int):
+    rng = np.random.default_rng(seed)
+    params = BFVParams.test_small(64)
+    db = random_bits(params.n * 16 * 8, rng)
+    queries = []
+    for k in range(num_queries):
+        q = random_bits(32, rng)
+        off = 16 * (5 + 29 * k)  # fits k<=16 inside the 8192-bit db
+        db[off : off + 32] = q
+        queries.append(q)
+    return params, db, queries
+
+
+def _time_batches(run_batch, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        run_batch()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run(quick: bool, seed: int) -> int:
+    reps = 3 if quick else 6
+    num_queries = 8 if quick else 16
+    params, db, queries = _workload(seed, num_queries)
+    batch = BatchSearch.from_bit_arrays(queries)
+
+    # -- in-process lane -------------------------------------------------
+    local = ShardedEngine(params=params, num_shards=NUM_SHARDS, key_seed=seed)
+    local.outsource(db)
+    local_result = local.execute(batch)
+    t_local = _time_batches(lambda: local.execute(batch), reps)
+
+    # -- networked lane (identical engine config behind a socket) --------
+    with ServiceThread(
+        "bfv-sharded", params=params, num_shards=NUM_SHARDS, key_seed=seed
+    ) as service:
+        client = Client(service.address, pool_size=2)
+        client.outsource(db)
+        net_result = client.search_batch(queries)
+        assert net_result.matches_per_query() == (
+            local_result.matches_per_query()
+        ), "networked lane diverged from in-process — run tests/net/"
+        t_net = _time_batches(lambda: client.search_batch(queries), reps)
+        client.close()
+
+    qps_local = num_queries / t_local
+    qps_net = num_queries / t_net
+    ratio = qps_net / qps_local
+    overhead_ms = (t_net - t_local) / num_queries * 1e3
+
+    table = format_table(
+        "Networked vs in-process batch serving "
+        f"({NUM_SHARDS} shards, {num_queries}-query batch, best of {reps})",
+        ["lane", "batch ms", "queries/sec", "vs in-process",
+         "wire overhead ms/query"],
+        [
+            ["in-process", f"{t_local * 1e3:.1f}", f"{qps_local:.1f}",
+             "1.00x", "-"],
+            ["networked (TCP)", f"{t_net * 1e3:.1f}", f"{qps_net:.1f}",
+             f"{ratio:.2f}x", f"{overhead_ms:.2f}"],
+        ],
+        paper_note=(
+            "same fused bfv-sharded engine both lanes; the networked lane "
+            "adds CMN1 framing, TCP loopback and admission control "
+            f"(acceptance: >= {GATE_RATIO}x in-process)"
+        ),
+    )
+    emit("bench_net", table)
+
+    if ratio < GATE_RATIO:
+        print(
+            f"FAIL: networked throughput {qps_net:.1f} q/s is "
+            f"{ratio:.2f}x in-process ({qps_local:.1f} q/s); "
+            f"gate requires >= {GATE_RATIO}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"networked {qps_net:.1f} q/s vs in-process {qps_local:.1f} q/s "
+        f"({ratio:.2f}x; wire overhead {overhead_ms:.2f} ms/query; "
+        f"meets the {GATE_RATIO}x gate)"
+    )
+    return 0
+
+
+def test_emit_net_throughput(benchmark):
+    """Pytest entry point (same artifact, quick shape)."""
+    benchmark(lambda: None)
+    assert run(quick=True, seed=23) == 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small batch and rep count; non-zero exit if networked "
+        f"throughput < {GATE_RATIO}x in-process (CI gate)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=23,
+        help="RNG seed for the workload and keys (default: 23, pinned "
+        "so CI runs are reproducible)",
+    )
+    args = parser.parse_args()
+    return run(quick=args.quick, seed=args.seed)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

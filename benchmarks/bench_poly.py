@@ -54,8 +54,13 @@ def _fresh(ring: RingContext, coeffs: np.ndarray) -> RingPoly:
     return ring.make(coeffs)
 
 
-def bench_mul(n: int, q: int, reps: int) -> dict:
-    rng = np.random.default_rng(13)
+#: base RNG seed; every measurement derives its stream from this, so
+#: the CI gate (--quick) replays the identical workload on every run
+DEFAULT_SEED = 13
+
+
+def bench_mul(n: int, q: int, reps: int, seed: int = DEFAULT_SEED) -> dict:
+    rng = np.random.default_rng(seed)
     a = rng.integers(0, q, size=n, dtype=np.int64)
     b = rng.integers(0, q, size=n, dtype=np.int64)
 
@@ -85,8 +90,8 @@ def bench_mul(n: int, q: int, reps: int) -> dict:
     }
 
 
-def bench_kernels(n: int, reps: int) -> list[dict]:
-    rng = np.random.default_rng(14)
+def bench_kernels(n: int, reps: int, seed: int = DEFAULT_SEED) -> list[dict]:
+    rng = np.random.default_rng(seed + 1)
     coeffs = rng.integers(0, WIDE_Q, size=n, dtype=np.int64)
     scalar = WIDE_Q - 7
     rows = []
@@ -109,10 +114,10 @@ def bench_kernels(n: int, reps: int) -> list[dict]:
     return rows
 
 
-def bench_serving(reps: int) -> list[dict]:
+def bench_serving(reps: int, seed: int = DEFAULT_SEED) -> list[dict]:
     from repro.he import BFVParams
 
-    rng = np.random.default_rng(15)
+    rng = np.random.default_rng(seed + 2)
     params = BFVParams.test_small(64)
     db = random_bits(params.n * 16 * 8, rng)
     queries = []
@@ -125,7 +130,7 @@ def bench_serving(reps: int) -> list[dict]:
     rows = []
     for backend in ("reference", "vectorized"):
         engine = ShardedSearchEngine(
-            ClientConfig(params, key_seed=15),
+            ClientConfig(params, key_seed=seed + 2),
             num_shards=2,
             poly_backend=backend,
         )
@@ -144,12 +149,12 @@ def bench_serving(reps: int) -> list[dict]:
     return rows
 
 
-def run(quick: bool) -> int:
+def run(quick: bool, seed: int = DEFAULT_SEED) -> int:
     reps = 7 if quick else 15
-    mul_rows = [bench_mul(4096, PAPER_Q, reps)]
+    mul_rows = [bench_mul(4096, PAPER_Q, reps, seed)]
     if not quick:
-        mul_rows.insert(0, bench_mul(1024, PAPER_Q, reps))
-        mul_rows.append(bench_mul(8192, PAPER_Q, reps))
+        mul_rows.insert(0, bench_mul(1024, PAPER_Q, reps, seed))
+        mul_rows.append(bench_mul(8192, PAPER_Q, reps, seed))
 
     lines = [
         format_table(
@@ -166,7 +171,7 @@ def run(quick: bool) -> int:
     ]
 
     if not quick:
-        kernel_rows = bench_kernels(4096, reps)
+        kernel_rows = bench_kernels(4096, reps, seed)
         lines += [
             "",
             format_table(
@@ -179,7 +184,7 @@ def run(quick: bool) -> int:
                 ],
             ),
         ]
-        serve_rows = bench_serving(reps=2)
+        serve_rows = bench_serving(reps=2, seed=seed)
         lines += [
             "",
             format_table(
@@ -229,8 +234,13 @@ def main() -> int:
         help="n=4096 multiply only; non-zero exit if vectorized is slower "
         "than reference (CI gate)",
     )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help=f"base RNG seed (default: {DEFAULT_SEED}, pinned so the CI "
+        "gate replays the identical workload every run)",
+    )
     args = parser.parse_args()
-    return run(quick=args.quick)
+    return run(quick=args.quick, seed=args.seed)
 
 
 if __name__ == "__main__":

@@ -33,6 +33,11 @@ Subpackages
     The unified facade over all of the above: typed search requests,
     an engine registry (core BFV, sharded serving, every baseline) and
     a session layer with sync + future-based async execution.
+``repro.net``
+    The networked serving layer: an asyncio TCP service over the
+    facade (length-prefixed binary frames, backpressure with
+    oldest-deadline shedding, graceful drain) and the sync/async
+    client SDK, registered as the ``"remote"`` engine.
 
 Quickstart
 ----------
@@ -43,15 +48,17 @@ Quickstart
 (160,)
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from . import baselines, core, eval, flash, he, ndp, ssd, tfhe, workloads  # noqa: F401
 from . import api  # noqa: F401  (depends on the subpackages above)
+from . import net  # noqa: F401  (registers the "remote" engine)
 from .api import open_session  # noqa: F401
 from .verify import VerifyPolicy  # noqa: F401
 
 __all__ = [
     "api",
+    "net",
     "baselines",
     "core",
     "eval",

@@ -8,10 +8,14 @@
     python -m repro tfhe               # bootstrapped-gate demo (real TFHE)
     python -m repro queueing           # SSD queueing-model cross-check
     python -m repro serve              # sharded concurrent serving demo
+    python -m repro serve-net          # TCP search service (SIGTERM drains)
+    python -m repro search --remote host:port --query fox
 
 Every subcommand has ``--help``; ``search`` talks to the unified
 :mod:`repro.api` facade, so ``--engine``/``--shards``/``--poly-backend``/
-``--search-kernel`` map directly onto registry keys and engine kwargs.
+``--search-kernel`` map directly onto registry keys and engine kwargs,
+and ``--remote host:port`` routes the same request through the
+:mod:`repro.net` client SDK to a running ``serve-net`` service.
 """
 
 from __future__ import annotations
@@ -61,30 +65,52 @@ def _search(args: argparse.Namespace) -> int:
         return 2
 
     engine_kwargs = {}
+    if args.remote is not None:
+        if args.engine is not None and args.engine != "remote":
+            print(
+                f"error: --engine {args.engine!r} selects a local engine "
+                f"and cannot be combined with --remote (the server owns "
+                f"the engine)"
+            )
+            return 2
+        args.engine = "remote"
+        engine_kwargs["address"] = args.remote
+    elif args.engine is None:
+        args.engine = "bfv"
     try:
         spec = DEFAULT_REGISTRY.spec(args.engine)
     except UnknownEngineError as exc:
         print(f"error: {exc}")
         return 2
-    if args.shards is not None:
-        if not spec.capabilities.sharded:
-            print(f"error: engine {args.engine!r} is not sharded")
-            return 2
-        engine_kwargs["num_shards"] = args.shards
-    if args.poly_backend is not None:
-        engine_kwargs["poly_backend"] = args.poly_backend
-    if getattr(args, "search_kernel", None) is not None:
-        if args.engine not in ("bfv", "bfv-sharded"):
-            print(
-                f"error: engine {args.engine!r} has no search-kernel choice"
-            )
-            return 2
-        engine_kwargs["search_kernel"] = args.search_kernel
-    if args.key_seed is not None and args.engine != "plaintext":
-        # every HE engine takes a seed under one of these names
-        engine_kwargs["key_seed" if args.engine.startswith("bfv") else "seed"] = (
-            args.key_seed
-        )
+    if args.remote is not None:
+        # the server side owns shard/backend/kernel/key configuration
+        for name in ("shards", "poly_backend", "search_kernel", "key_seed"):
+            if getattr(args, name, None) is not None:
+                print(
+                    f"error: --{name.replace('_', '-')} configures a local "
+                    f"engine and cannot be combined with --remote"
+                )
+                return 2
+    else:
+        if args.shards is not None:
+            if not spec.capabilities.sharded:
+                print(f"error: engine {args.engine!r} is not sharded")
+                return 2
+            engine_kwargs["num_shards"] = args.shards
+        if args.poly_backend is not None:
+            engine_kwargs["poly_backend"] = args.poly_backend
+        if getattr(args, "search_kernel", None) is not None:
+            if args.engine not in ("bfv", "bfv-sharded"):
+                print(
+                    f"error: engine {args.engine!r} has no search-kernel choice"
+                )
+                return 2
+            engine_kwargs["search_kernel"] = args.search_kernel
+        if args.key_seed is not None and args.engine != "plaintext":
+            # every HE engine takes a seed under one of these names
+            engine_kwargs[
+                "key_seed" if args.engine.startswith("bfv") else "seed"
+            ] = args.key_seed
 
     db_bits = text_to_bits(args.db_text)
     request = ExactSearch.from_text(
@@ -96,7 +122,7 @@ def _search(args: argparse.Namespace) -> int:
             args.engine, db_bits=db_bits, **engine_kwargs
         ) as session:
             result = session.search(request)
-    except (CapabilityError, TypeError, ValueError) as exc:
+    except (CapabilityError, TypeError, ValueError, OSError) as exc:
         print(f"error: {exc}")
         return 2
     chars = [off // 8 for off in result.matches if off % 8 == 0]
@@ -246,6 +272,58 @@ def _serve(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _serve_net(args: argparse.Namespace) -> int:
+    """Run the asyncio TCP search service until SIGTERM/SIGINT drains it."""
+    import asyncio
+    import signal
+    import sys
+
+    from repro.net import AsyncSearchService
+    from repro.utils.bits import text_to_bits
+
+    engine_kwargs = {"num_shards": args.shards}
+    if args.poly_backend is not None:
+        engine_kwargs["poly_backend"] = args.poly_backend
+    if args.search_kernel is not None:
+        engine_kwargs["search_kernel"] = args.search_kernel
+    if args.key_seed is not None:
+        engine_kwargs["key_seed"] = args.key_seed
+
+    async def main() -> int:
+        service = AsyncSearchService(
+            args.engine,
+            host=args.host,
+            port=args.port,
+            max_in_flight=args.max_in_flight,
+            **engine_kwargs,
+        )
+        if args.db_text:
+            service.session.outsource(text_to_bits(args.db_text))
+        host, port = await service.start()
+        print(
+            f"serving engine {args.engine!r} "
+            f"({args.shards} shards) on {host}:{port} "
+            f"(db: {service.session.db_bit_length or 0} bits outsourced; "
+            f"SIGTERM drains gracefully)",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, service.begin_drain)
+        await service.serve_forever()
+        await service.shutdown_connections()
+        print("drained; all in-flight requests completed", flush=True)
+        return 0
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:  # signal handler not yet installed
+        return 0
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def _figures(args: argparse.Namespace) -> int:
     from repro.eval.runner import main as figures_main
 
@@ -277,8 +355,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_search.add_argument(
         "--engine",
-        default="bfv",
-        help="engine registry key (default: bfv; see --list-engines)",
+        help="engine registry key (default: bfv; see --list-engines); "
+        "mutually exclusive with --remote",
     )
     p_search.add_argument(
         "--db-text",
@@ -310,6 +388,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument(
         "--list-engines", action="store_true",
         help="print the engine capability matrix and exit",
+    )
+    p_search.add_argument(
+        "--remote", metavar="HOST:PORT",
+        help="run the search against a `python -m repro serve-net` "
+        "service instead of a local engine (outsources --db-text over "
+        "the wire first)",
     )
     p_search.set_defaults(func=_search)
 
@@ -352,6 +436,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="polynomial-arithmetic backend",
     )
     p_serve.set_defaults(func=_serve)
+
+    p_serve_net = sub.add_parser(
+        "serve-net",
+        help="TCP search service over the facade (repro.net)",
+        description="Boot an asyncio TCP service exposing a registered "
+        "engine over CMN1 frames. Query it with `python -m repro search "
+        "--remote host:port` or the repro.net client SDK. SIGTERM "
+        "drains in-flight work and exits 0.",
+    )
+    p_serve_net.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    p_serve_net.add_argument(
+        "--port", type=int, default=9137,
+        help="bind port (default: 9137; 0 picks an ephemeral port)",
+    )
+    p_serve_net.add_argument(
+        "--engine", default="bfv-sharded",
+        help="backing engine registry key (default: bfv-sharded)",
+    )
+    p_serve_net.add_argument(
+        "--shards", type=int, default=4, help="shard count (default: 4)"
+    )
+    p_serve_net.add_argument(
+        "--poly-backend", choices=["vectorized", "reference"],
+        help="polynomial-arithmetic backend",
+    )
+    p_serve_net.add_argument(
+        "--search-kernel", choices=["fused", "object"],
+        help="search execution kernel",
+    )
+    p_serve_net.add_argument(
+        "--key-seed", type=int, help="deterministic key generation seed"
+    )
+    p_serve_net.add_argument(
+        "--db-text", default="",
+        help="ASCII database to outsource at boot (clients can also "
+        "outsource over the wire)",
+    )
+    p_serve_net.add_argument(
+        "--max-in-flight", type=int, default=64,
+        help="per-connection in-flight bound before oldest-deadline "
+        "shedding (default: 64)",
+    )
+    p_serve_net.set_defaults(func=_serve_net)
 
     return parser
 

@@ -174,10 +174,15 @@ class Session:
 
     def drain(self) -> None:
         """Block until every submitted future has resolved."""
+        import concurrent.futures
+
         pending, self._pending = self._pending, []
         for future in pending:
             if not future.done():
-                future.exception()  # waits; swallows here, caller re-raises
+                try:
+                    future.exception()  # waits; caller re-raises via result()
+                except concurrent.futures.CancelledError:
+                    pass  # cancelled while queued (e.g. shed): nothing to wait
         # keep unfinished ones (exception() waited, so none remain)
 
     def _ensure_dispatcher(self) -> None:
@@ -231,6 +236,12 @@ class Session:
             i += len(group)
 
     def _run_single(self, req: SearchRequest, future: "Future") -> None:
+        # A future cancelled while queued (e.g. shed by the network
+        # front end's admission control) must neither execute nor be
+        # resolved — set_result on a cancelled future raises and would
+        # kill the dispatcher thread.
+        if not future.set_running_or_notify_cancel():
+            return
         try:
             result = self.engine.execute(req)
         except BaseException as exc:
@@ -239,6 +250,13 @@ class Session:
             future.set_result(result)
 
     def _run_native_batch(self, group) -> None:
+        group = [
+            (req, future)
+            for req, future in group
+            if future.set_running_or_notify_cancel()
+        ]
+        if not group:
+            return
         requests = tuple(req for req, _ in group)
         try:
             batch_result = self.engine.execute(

@@ -1,0 +1,533 @@
+"""Client SDK for the networked serving layer.
+
+Two clients over the same CMN1 frame protocol:
+
+* :class:`Client` — the synchronous production client.  Mirrors the
+  :class:`~repro.api.session.Session` surface (``search`` /
+  ``submit``-returning-a-future / ``search_batch`` / ``outsource``),
+  multiplexes requests over a small **connection pool**, and
+  transparently **reconnects and resends** outstanding requests when a
+  connection drops (search requests are read-only and idempotent, so
+  replaying them is safe).  Each pooled connection runs one reader
+  thread that resolves futures by request id, so many submitters share
+  one socket without head-of-line coupling between their results.
+* :class:`AsyncClient` — the asyncio mirror for callers already living
+  on an event loop (``await client.search(...)``, ``submit`` returning
+  an :class:`asyncio.Future`).
+
+Both perform the HELLO/WELCOME handshake on connect; the negotiated
+:class:`~repro.net.codec.Welcome` (engine key, scheme, capability
+flags, outsourced bit length) is available as ``client.welcome`` and is
+what :class:`repro.net.RemoteEngine` reports as its capabilities.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+import threading
+from concurrent.futures import Future
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..api.requests import (
+    BatchSearch,
+    BatchSearchResult,
+    ExactSearch,
+    SearchRequest,
+    SearchResult,
+)
+from ..verify import VerifyLike, VerifyPolicy
+from . import codec
+from .framing import (
+    PROTOCOL_VERSION,
+    Frame,
+    FrameType,
+    read_frame,
+    read_frame_sync,
+    write_frame,
+    write_frame_sync,
+)
+
+AddressLike = Union[str, Tuple[str, int]]
+
+
+def parse_address(address: AddressLike) -> Tuple[str, int]:
+    """Accept ``"host:port"`` or an ``(host, port)`` tuple."""
+    if isinstance(address, str):
+        host, sep, port = address.rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"address {address!r} is not of the form host:port"
+            )
+        return host, int(port)
+    host, port = address
+    return str(host), int(port)
+
+
+def _as_request(request, verify: VerifyLike = None) -> SearchRequest:
+    from ..api.session import _as_request as session_as_request
+
+    return session_as_request(request, verify)
+
+
+def _decode_response(frame: Frame):
+    """Response frame -> result object (or raises the carried error)."""
+    if frame.type is FrameType.RESULT:
+        return codec.decode_result(frame.payload)
+    if frame.type is FrameType.BATCH_RESULT:
+        return codec.decode_batch_result(frame.payload)
+    if frame.type is FrameType.STATS_RESULT:
+        return codec.decode_stats(frame.payload)
+    if frame.type is FrameType.OUTSOURCE_OK:
+        return codec.decode_outsource_ok(frame.payload)
+    if frame.type in (FrameType.DRAIN_OK, FrameType.PONG):
+        return None
+    if frame.type is FrameType.ERROR:
+        code, message = codec.decode_error(frame.payload)
+        raise codec.error_to_exception(code, message)
+    raise codec.RemoteError(f"unexpected response frame {frame.type.name}")
+
+
+class _Call:
+    """One outstanding request: resend material + the caller's future."""
+
+    def __init__(self, frame: Frame, future: Future, retries: int,
+                 idempotent: bool):
+        self.frame = frame
+        self.future = future
+        self.retries = retries
+        #: only idempotent frames (searches, stats, ping) are replayed
+        #: onto a fresh connection after a drop
+        self.idempotent = idempotent
+
+
+class _Connection:
+    """One pooled socket with its reader thread and outstanding calls."""
+
+    def __init__(self, client: "Client"):
+        self._client = client
+        self._sock: Optional[socket.socket] = None
+        self._reader: Optional[threading.Thread] = None
+        self._send_lock = threading.Lock()
+        self._calls_lock = threading.Lock()
+        self._calls: Dict[int, _Call] = {}
+        self._closed = False
+        self.welcome: Optional[codec.Welcome] = None
+
+    # -- connection management ------------------------------------------
+
+    def _connect_locked(self) -> socket.socket:
+        """(Re)establish the socket + handshake; caller holds _send_lock."""
+        sock = socket.create_connection(
+            self._client.address, timeout=self._client.connect_timeout
+        )
+        sock.settimeout(self._client.handshake_timeout)
+        write_frame_sync(
+            sock,
+            Frame(FrameType.HELLO, 0, codec.encode_hello(PROTOCOL_VERSION)),
+        )
+        frame = read_frame_sync(sock)
+        if frame is None or frame.type is not FrameType.WELCOME:
+            sock.close()
+            raise ConnectionError("handshake failed: no WELCOME frame")
+        self.welcome = codec.decode_welcome(frame.payload)
+        # The reader thread blocks on this socket between responses; a
+        # timeout here would tear down idle pooled connections (and
+        # resend slow requests, amplifying load exactly when the server
+        # is slowest).  Callers bound their own waits via
+        # ``future.result(timeout=...)``.
+        sock.settimeout(None)
+        self._sock = sock
+        self._reader = threading.Thread(
+            target=self._read_loop, args=(sock,),
+            name="repro-net-client-reader", daemon=True,
+        )
+        self._reader.start()
+        return sock
+
+    def ensure_connected(self) -> None:
+        with self._send_lock:
+            if self._sock is None and not self._closed:
+                self._connect_locked()
+
+    def close(self) -> None:
+        self._closed = True
+        with self._send_lock:
+            sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            sock.close()
+        self._fail_outstanding(ConnectionError("client closed"))
+
+    # -- request path ----------------------------------------------------
+
+    def send_call(self, call: _Call) -> None:
+        """Register + transmit one call, reconnecting/retrying on a
+        dropped connection."""
+        with self._calls_lock:
+            self._calls[call.frame.request_id] = call
+        while True:
+            try:
+                with self._send_lock:
+                    sock = self._sock or self._connect_locked()
+                    write_frame_sync(sock, call.frame)
+                return
+            except (ConnectionError, OSError) as exc:
+                self._drop_socket()
+                if call.retries <= 0 or self._closed:
+                    with self._calls_lock:
+                        self._calls.pop(call.frame.request_id, None)
+                    if not call.future.done():
+                        call.future.set_exception(exc)
+                    return
+                call.retries -= 1
+
+    def _drop_socket(self) -> None:
+        with self._send_lock:
+            sock, self._sock = self._sock, None
+        if sock is not None:
+            sock.close()
+
+    # -- reader ----------------------------------------------------------
+
+    def _read_loop(self, sock: socket.socket) -> None:
+        try:
+            while True:
+                frame = read_frame_sync(sock)
+                if frame is None:
+                    break
+                with self._calls_lock:
+                    call = self._calls.pop(frame.request_id, None)
+                if call is None:
+                    continue  # response to a shed/abandoned request
+                try:
+                    call.future.set_result(_decode_response(frame))
+                except Exception as exc:  # carried remote error
+                    call.future.set_exception(exc)
+        except (ConnectionError, OSError, ValueError):
+            pass
+        # The socket died (or EOF).  If it is still the active socket,
+        # drop it and replay outstanding idempotent calls on a fresh
+        # connection.
+        with self._send_lock:
+            if self._sock is sock:
+                self._sock = None
+        sock.close()
+        if not self._closed:
+            self._replay_outstanding()
+
+    def _replay_outstanding(self) -> None:
+        with self._calls_lock:
+            outstanding = list(self._calls.values())
+            self._calls.clear()
+        for call in outstanding:
+            if call.future.done():
+                continue
+            if call.idempotent and call.retries > 0:
+                call.retries -= 1
+                self.send_call(call)
+            else:
+                call.future.set_exception(
+                    ConnectionError("connection lost before the response")
+                )
+
+    def _fail_outstanding(self, exc: Exception) -> None:
+        with self._calls_lock:
+            outstanding = list(self._calls.values())
+            self._calls.clear()
+        for call in outstanding:
+            if not call.future.done():
+                call.future.set_exception(exc)
+
+
+class Client:
+    """Synchronous client for :class:`~repro.net.AsyncSearchService`.
+
+    Parameters
+    ----------
+    address:
+        ``"host:port"`` or ``(host, port)``.
+    pool_size:
+        Number of pooled connections; requests round-robin across them.
+    max_retries:
+        Reconnect-and-resend attempts per idempotent request after a
+        dropped connection.
+    handshake_timeout / connect_timeout:
+        Bounds on connection establishment and the HELLO/WELCOME
+        exchange, in seconds.  Established connections have *no* read
+        timeout (the reader blocks between responses; idle pooled
+        connections must not churn, and a slow search must not be
+        silently re-executed) — bound waits per call via
+        ``future.result(timeout=...)``.
+    """
+
+    def __init__(
+        self,
+        address: AddressLike,
+        *,
+        pool_size: int = 2,
+        max_retries: int = 2,
+        handshake_timeout: Optional[float] = 30.0,
+        connect_timeout: Optional[float] = 10.0,
+    ):
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        self.address = parse_address(address)
+        self.max_retries = max_retries
+        self.handshake_timeout = handshake_timeout
+        self.connect_timeout = connect_timeout
+        self._pool: List[_Connection] = [
+            _Connection(self) for _ in range(pool_size)
+        ]
+        self._rr = itertools.count()
+        self._ids = itertools.count(1)
+        self._closed = False
+
+    # -- plumbing --------------------------------------------------------
+
+    def _connection(self) -> _Connection:
+        return self._pool[next(self._rr) % len(self._pool)]
+
+    def _submit_frame(
+        self, ftype: FrameType, payload: bytes, *, idempotent: bool
+    ) -> Future:
+        if self._closed:
+            raise RuntimeError("client is closed")
+        future: Future = Future()
+        call = _Call(
+            Frame(ftype, next(self._ids), payload),
+            future,
+            self.max_retries,
+            idempotent,
+        )
+        self._connection().send_call(call)
+        return future
+
+    @property
+    def welcome(self) -> codec.Welcome:
+        """Server identity from the handshake (connects if needed)."""
+        conn = self._pool[0]
+        conn.ensure_connected()
+        assert conn.welcome is not None
+        return conn.welcome
+
+    def close(self) -> None:
+        self._closed = True
+        for conn in self._pool:
+            conn.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- session-mirroring surface ---------------------------------------
+
+    def submit(
+        self,
+        request,
+        *,
+        verify: VerifyLike = None,
+        deadline: Optional[float] = None,
+    ) -> Future:
+        """Queue one request on the service; returns a future of its
+        :class:`SearchResult` (or :class:`BatchSearchResult`).
+
+        ``deadline`` is a relative latency budget in seconds the
+        service's admission control uses for oldest-deadline shedding.
+        """
+        ftype, payload = codec.encode_request(
+            _as_request(request, verify), deadline
+        )
+        return self._submit_frame(ftype, payload, idempotent=True)
+
+    def search(
+        self,
+        request,
+        *,
+        verify: VerifyLike = None,
+        deadline: Optional[float] = None,
+    ) -> Union[SearchResult, BatchSearchResult]:
+        """Execute one request synchronously over the wire."""
+        return self.submit(request, verify=verify, deadline=deadline).result()
+
+    def search_batch(
+        self, queries: Sequence, *, verify: VerifyLike = None
+    ) -> BatchSearchResult:
+        """Execute many exact queries as one native server-side batch."""
+        batch = BatchSearch(
+            tuple(
+                q if isinstance(q, ExactSearch) else ExactSearch.from_bits(q)
+                for q in queries
+            ),
+            verify=VerifyPolicy.coerce(verify),
+        )
+        return self.search(batch)
+
+    def submit_batch(
+        self, queries: Sequence, *, verify: VerifyLike = None
+    ) -> List[Future]:
+        """Submit many exact queries; one future per query, in order."""
+        return [self.submit(q, verify=verify) for q in queries]
+
+    def outsource(self, db_bits) -> int:
+        """Ship plaintext database bits for the server to pack/encrypt;
+        returns the outsourced bit length.  Not idempotent (it rebuilds
+        server-side state), so it is never silently replayed."""
+        payload = codec.encode_outsource(
+            np.asarray(db_bits, dtype=np.uint8)
+        )
+        return self._submit_frame(
+            FrameType.OUTSOURCE, payload, idempotent=False
+        ).result()
+
+    def stats(self) -> codec.ServiceStats:
+        """Fetch the service's operational snapshot (STATS frame)."""
+        return self._submit_frame(
+            FrameType.STATS, b"", idempotent=True
+        ).result()
+
+    def ping(self) -> None:
+        self._submit_frame(FrameType.PING, b"", idempotent=True).result()
+
+    def drain(self) -> None:
+        """Ask the service to drain gracefully; returns when it has."""
+        self._submit_frame(FrameType.DRAIN, b"", idempotent=False).result()
+
+
+# ---------------------------------------------------------------------------
+# Async client
+# ---------------------------------------------------------------------------
+
+
+class AsyncClient:
+    """Asyncio mirror of :class:`Client` (one connection, no pool).
+
+    >>> client = await AsyncClient.connect(("127.0.0.1", 9137))
+    >>> result = await client.search(np.ones(32, dtype=np.uint8))
+    """
+
+    def __init__(self) -> None:
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._read_task: Optional[asyncio.Task] = None
+        self._write_lock = asyncio.Lock()
+        self.welcome: Optional[codec.Welcome] = None
+
+    @classmethod
+    async def connect(cls, address: AddressLike) -> "AsyncClient":
+        client = cls()
+        host, port = parse_address(address)
+        client._reader, client._writer = await asyncio.open_connection(
+            host, port
+        )
+        await write_frame(
+            client._writer,
+            Frame(FrameType.HELLO, 0, codec.encode_hello(PROTOCOL_VERSION)),
+        )
+        frame = await read_frame(client._reader)
+        if frame is None or frame.type is not FrameType.WELCOME:
+            raise ConnectionError("handshake failed: no WELCOME frame")
+        client.welcome = codec.decode_welcome(frame.payload)
+        client._read_task = asyncio.ensure_future(client._read_loop())
+        return client
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    break
+                future = self._pending.pop(frame.request_id, None)
+                if future is None or future.done():
+                    continue
+                try:
+                    future.set_result(_decode_response(frame))
+                except Exception as exc:
+                    future.set_exception(exc)
+        except (ConnectionError, OSError, ValueError) as exc:
+            self._fail_pending(exc)
+            return
+        self._fail_pending(ConnectionError("connection closed"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    async def _send(self, ftype: FrameType, payload: bytes) -> asyncio.Future:
+        if self._writer is None:
+            raise RuntimeError("client is not connected")
+        request_id = next(self._ids)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        async with self._write_lock:
+            await write_frame(
+                self._writer, Frame(ftype, request_id, payload)
+            )
+        return future
+
+    async def submit(
+        self,
+        request,
+        *,
+        verify: VerifyLike = None,
+        deadline: Optional[float] = None,
+    ) -> asyncio.Future:
+        """Send one request; returns the future of its result."""
+        ftype, payload = codec.encode_request(
+            _as_request(request, verify), deadline
+        )
+        return await self._send(ftype, payload)
+
+    async def search(
+        self,
+        request,
+        *,
+        verify: VerifyLike = None,
+        deadline: Optional[float] = None,
+    ) -> Union[SearchResult, BatchSearchResult]:
+        return await (
+            await self.submit(request, verify=verify, deadline=deadline)
+        )
+
+    async def search_batch(
+        self, queries: Sequence, *, verify: VerifyLike = None
+    ) -> BatchSearchResult:
+        batch = BatchSearch(
+            tuple(
+                q if isinstance(q, ExactSearch) else ExactSearch.from_bits(q)
+                for q in queries
+            ),
+            verify=VerifyPolicy.coerce(verify),
+        )
+        return await self.search(batch)
+
+    async def outsource(self, db_bits) -> int:
+        payload = codec.encode_outsource(np.asarray(db_bits, dtype=np.uint8))
+        return await (await self._send(FrameType.OUTSOURCE, payload))
+
+    async def stats(self) -> codec.ServiceStats:
+        return await (await self._send(FrameType.STATS, b""))
+
+    async def aclose(self) -> None:
+        if self._read_task is not None:
+            self._read_task.cancel()
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._fail_pending(ConnectionError("client closed"))

@@ -1,0 +1,172 @@
+"""`RemoteEngine`: the network client behind the engine facade.
+
+Registers the networked serving layer in the
+:class:`~repro.api.registry.EngineRegistry` under ``"remote"``, so the
+whole :mod:`repro.api` surface — typed requests, sessions, the parity
+suite — runs over a real socket with a one-word engine swap:
+
+>>> with repro.open_session("remote", db_bits=db) as s:   # loopback
+...     s.search(query)
+>>> repro.open_session("remote", address="search-tier:9137")  # deployed
+
+Two modes:
+
+* ``address=...`` — connect to an already-running
+  :class:`~repro.net.server.AsyncSearchService`;
+* no address — **self-serving loopback**: the engine boots a private
+  :class:`~repro.net.server.ServiceThread` around the ``engine=`` key
+  (default ``"bfv-sharded"``, remaining kwargs flow to that engine's
+  constructor), so every request still crosses real TCP framing.  This
+  is what lets the cross-engine parity tests exercise the socket path
+  with zero orchestration.
+
+The engine's capabilities mirror the server's WELCOME declaration, and
+results come back re-tagged ``engine="remote"`` while carrying the
+backing engine's homomorphic-op tally and shard breakdown untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..api.capabilities import Capabilities
+from ..api.engines import Engine, _Outcome
+from ..api.requests import (
+    BatchSearch,
+    BatchSearchResult,
+    SearchResult,
+    WildcardSearch,
+)
+from ..verify import VerifyPolicy
+from .client import AddressLike, Client
+
+
+class RemoteEngine(Engine):
+    """The networked serving layer behind the uniform facade."""
+
+    key = "remote"
+    #: registry-level declaration (the default bfv-sharded backing
+    #: engine); instances report the server's negotiated capabilities.
+    CAPS = Capabilities(
+        scheme="bfv",
+        wildcard=True,
+        batching=True,
+        sharded=True,
+        verify=True,
+        exact_query_bits=31,
+    )
+
+    def __init__(
+        self,
+        address: Optional[AddressLike] = None,
+        *,
+        client: Optional[Client] = None,
+        engine: str = "bfv-sharded",
+        pool_size: int = 2,
+        max_in_flight: int = 64,
+        **engine_kwargs,
+    ):
+        self._service_thread = None
+        if client is not None:
+            self.client = client
+        elif address is not None:
+            if engine_kwargs:
+                raise TypeError(
+                    "engine kwargs only apply to the loopback service "
+                    "(no address given); a remote server owns its own "
+                    "engine configuration"
+                )
+            self.client = Client(address, pool_size=pool_size)
+        else:
+            # self-serving loopback: private service thread + socket
+            from .server import ServiceThread
+
+            self._service_thread = ServiceThread(
+                engine, max_in_flight=max_in_flight, **engine_kwargs
+            ).start()
+            self.client = Client(
+                self._service_thread.address, pool_size=pool_size
+            )
+        self._db_bits: Optional[int] = self.client.welcome.db_bit_length
+
+    # -- facade surface --------------------------------------------------
+
+    @property
+    def capabilities(self) -> Capabilities:
+        w = self.client.welcome
+        return Capabilities(
+            scheme=w.scheme,
+            wildcard=w.wildcard,
+            batching=w.batching,
+            sharded=w.sharded,
+            verify=w.verify,
+            max_query_bits=w.max_query_bits,
+            exact_query_bits=self.CAPS.exact_query_bits,
+        )
+
+    def outsource(self, db_bits: np.ndarray) -> None:
+        self._db_bits = self.client.outsource(
+            np.asarray(db_bits, dtype=np.uint8)
+        )
+
+    @property
+    def db_bit_length(self) -> Optional[int]:
+        return self._db_bits
+
+    def close(self) -> None:
+        self.client.close()
+        if self._service_thread is not None:
+            self._service_thread.stop()
+            self._service_thread = None
+
+    def stats(self):
+        """The service's :class:`~repro.net.codec.ServiceStats`."""
+        return self.client.stats()
+
+    # -- execution -------------------------------------------------------
+
+    @staticmethod
+    def _outcome(result: SearchResult) -> _Outcome:
+        return _Outcome(
+            matches=list(result.matches),
+            hom_ops=result.hom_ops,
+            verified=result.verified,
+            num_variants=result.num_variants,
+            encrypted_db_bytes=result.encrypted_db_bytes,
+            shards=result.shards,
+        )
+
+    def _exact(self, bits: np.ndarray, verify: bool) -> _Outcome:
+        policy = VerifyPolicy.VERIFY if verify else VerifyPolicy.SKIP
+        return self._outcome(self.client.search(bits, verify=policy))
+
+    def _wildcard(self, request: WildcardSearch) -> _Outcome:
+        # Native remote execution: the server runs the segment join, so
+        # one round trip covers the whole pattern.
+        return self._outcome(self.client.search(request))
+
+    def _execute_batch(self, request: BatchSearch) -> BatchSearchResult:
+        if self.db_bit_length is None:
+            raise RuntimeError("outsource a database first")
+        remote = self.client.search(request)
+        return BatchSearchResult(
+            results=tuple(
+                SearchResult(
+                    matches=r.matches,
+                    engine=self.key,
+                    scheme=r.scheme,
+                    hom_ops=r.hom_ops,
+                    elapsed_seconds=r.elapsed_seconds,
+                    verified=r.verified,
+                    num_variants=r.num_variants,
+                    encrypted_db_bytes=r.encrypted_db_bytes,
+                    shards=r.shards,
+                )
+                for r in remote.results
+            ),
+            engine=self.key,
+            elapsed_seconds=remote.elapsed_seconds,
+            deduplicated_hits=remote.deduplicated_hits,
+        )

@@ -1,0 +1,608 @@
+"""Asyncio TCP front end over the unified search facade.
+
+:class:`AsyncSearchService` puts a real socket between callers and the
+:mod:`repro.api` session layer.  One service owns one
+:class:`~repro.api.session.Session` (``open_session``-style lifecycle:
+the constructor resolves an engine key through the registry, generates
+keys and wires caches), and every connection's requests are dispatched
+onto that session via :meth:`Session.submit` — so concurrent
+connections coalesce into the sharded engine's native serve-pool
+batches exactly like concurrent in-process submitters do.
+
+Concurrency and flow control
+----------------------------
+* The event loop only ever decodes frames and moves futures; all
+  cryptography runs on the session dispatcher thread (queries) or the
+  default executor (database outsourcing).
+* **Admission control**: each connection holds a bounded in-flight set
+  (``max_in_flight``).  When a request arrives over a full set, the
+  entry with the *oldest deadline* — the one least likely to be worth
+  serving — is shed: a queued victim is cancelled and answered with an
+  ``ERR_SHED`` frame, or the incoming request itself is shed when its
+  deadline is the oldest (or the victim already started executing).
+  Sheds are recorded into the backing engine's
+  :class:`~repro.serve.scheduler.ServeScheduler` accounting.
+* **Graceful drain**: :meth:`begin_drain` (wired to SIGTERM by
+  ``python -m repro serve-net``) stops accepting connections, answers
+  new requests with ``ERR_DRAINING``, waits for every in-flight future,
+  then closes the session; :meth:`serve_forever` returns so the process
+  exits 0.
+* A ``STATS`` frame answers with the serialized
+  :class:`~repro.net.codec.ServiceStats`: admission counters plus the
+  engine's most recent :class:`~repro.serve.report.ServeReport`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import Future as _ConcurrentFuture
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Union
+
+from ..api.capabilities import CapabilityError
+from ..api.session import Session, open_session
+from . import codec
+from .framing import (
+    PROTOCOL_VERSION,
+    Frame,
+    FrameType,
+    FramingError,
+    read_frame,
+    write_frame,
+)
+
+_REQUEST_FRAMES = (FrameType.SEARCH, FrameType.WILDCARD, FrameType.BATCH)
+
+
+@dataclass
+class _InFlight:
+    """One admitted request awaiting its response frame."""
+
+    request_id: int
+    deadline: float  # absolute loop time; +inf when none was given
+    #: the session-layer concurrent future; cancellation must target
+    #: this one — its cancel() truthfully fails once the dispatcher
+    #: started executing, whereas cancelling the asyncio wrapper
+    #: "succeeds" even when the work keeps running underneath
+    cf_future: Optional["_ConcurrentFuture"] = None
+
+
+@dataclass(eq=False)
+class _Connection:
+    """Per-connection state: stream pair, in-flight set, write lock."""
+
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    in_flight: Dict[int, _InFlight] = field(default_factory=dict)
+    tasks: Set["asyncio.Task"] = field(default_factory=set)
+    write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    closed: bool = False
+
+    async def send(self, ftype: FrameType, request_id: int, payload: bytes = b"") -> None:
+        if self.closed:
+            return
+        try:
+            async with self.write_lock:
+                await write_frame(self.writer, Frame(ftype, request_id, payload))
+        except (ConnectionError, RuntimeError, OSError):
+            # The peer vanished mid-response; the read loop notices and
+            # cleans up.  Responses to a dead peer are not an error.
+            self.closed = True
+
+
+class AsyncSearchService:
+    """Serve the unified search facade over length-prefixed TCP frames."""
+
+    def __init__(
+        self,
+        engine: Union[str, Session] = "bfv-sharded",
+        *,
+        session: Optional[Session] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_in_flight: int = 64,
+        **engine_kwargs,
+    ):
+        if isinstance(engine, Session) and session is None:
+            session = engine
+        if session is not None:
+            if engine_kwargs:
+                raise TypeError(
+                    "engine kwargs only apply when the service opens its "
+                    "own session"
+                )
+            self.session = session
+            self._owns_session = False
+        else:
+            self.session = open_session(engine, **engine_kwargs)
+            self._owns_session = True
+        if max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        self.host = host
+        self.port = port
+        self.max_in_flight = max_in_flight
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[_Connection] = set()
+        self._outsource_lock = asyncio.Lock()
+        self._draining = False
+        self._drained: Optional[asyncio.Event] = None
+        # admission counters (the STATS frame serializes these)
+        self.total_connections = 0
+        self.accepted = 0
+        self.completed = 0
+        self.shed = 0
+        self.failed = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) actually bound; resolves ``port=0`` ephemerals."""
+        if self._server is None:
+            raise RuntimeError("service is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting connections; returns the address."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self._drained = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`begin_drain` completes the drain."""
+        if self._server is None:
+            await self.start()
+        assert self._drained is not None
+        await self._drained.wait()
+
+    def begin_drain(self) -> None:
+        """Start a graceful drain (idempotent; call from the loop, e.g.
+        a ``loop.add_signal_handler(SIGTERM, service.begin_drain)``)."""
+        if self._draining:
+            return
+        self._draining = True
+        asyncio.ensure_future(self._drain())
+
+    async def _drain(self) -> None:
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Wait for every admitted request to resolve and respond.
+        while True:
+            pending = [
+                task
+                for conn in list(self._connections)
+                for task in list(conn.tasks)
+            ]
+            if not pending:
+                break
+            await asyncio.gather(*pending, return_exceptions=True)
+        if self._owns_session:
+            # session.close() joins the dispatcher thread; keep the
+            # event loop responsive while it drains.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.session.close
+            )
+        if self._drained is not None:
+            self._drained.set()
+
+    async def aclose(self) -> None:
+        """Drain and stop; safe to call multiple times."""
+        if self._drained is not None and self._drained.is_set():
+            return
+        self._draining = True
+        await self._drain()
+
+    async def shutdown_connections(self) -> None:
+        """Close connections lingering after a completed drain.
+
+        Run this between :meth:`serve_forever` returning and the event
+        loop closing: handlers parked in a frame read exit on the EOF
+        instead of being cancelled mid-read at loop teardown (which
+        asyncio.streams logs as noisy ``CancelledError`` tracebacks).
+        The leading tick lets DRAIN responders flush their DRAIN_OK
+        first; the trailing tick lets the woken handlers finish.
+        """
+        await asyncio.sleep(0.05)
+        for conn in list(self._connections):
+            await self._close_connection(conn)
+        await asyncio.sleep(0.05)
+
+    # -- stats -----------------------------------------------------------
+
+    def _scheduler(self):
+        """The backing ShardedSearchEngine's scheduler, if there is one."""
+        return getattr(
+            getattr(self.session.engine, "engine", None), "scheduler", None
+        )
+
+    def _record_shed(self) -> None:
+        self.shed += 1
+        scheduler = self._scheduler()
+        if scheduler is not None:
+            scheduler.record_shed()
+
+    def stats(self) -> codec.ServiceStats:
+        """Point-in-time operational snapshot (the STATS frame body)."""
+        report = getattr(self.session.engine, "last_serve_report", None)
+        scheduler = self._scheduler()
+        if report is not None:
+            p50 = report.latency_percentile(50)
+            p95 = report.latency_percentile(95)
+            p99 = report.latency_percentile(99)
+            throughput = report.throughput_qps
+            cache_hit_rate = report.cache.hit_rate
+            text = report.summary_table()
+            served = report.num_queries
+        else:
+            p50 = p95 = p99 = throughput = cache_hit_rate = 0.0
+            text = ""
+            served = 0
+        return codec.ServiceStats(
+            active_connections=len(self._connections),
+            total_connections=self.total_connections,
+            accepted=self.accepted,
+            completed=self.completed,
+            shed=self.shed,
+            failed=self.failed,
+            draining=self._draining,
+            scheduler_sheds=0 if scheduler is None else scheduler.sheds,
+            served_queries=served,
+            wall_p50=p50,
+            wall_p95=p95,
+            wall_p99=p99,
+            throughput_qps=throughput,
+            cache_hit_rate=cache_hit_rate,
+            report_text=text,
+        )
+
+    def _welcome(self) -> codec.Welcome:
+        caps = self.session.capabilities
+        return codec.Welcome(
+            protocol_version=PROTOCOL_VERSION,
+            engine=self.session.engine_key,
+            scheme=caps.scheme,
+            wildcard=caps.wildcard,
+            batching=caps.batching,
+            sharded=caps.sharded,
+            verify=caps.verify,
+            max_query_bits=caps.max_query_bits,
+            db_bit_length=self.session.db_bit_length,
+        )
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(reader=reader, writer=writer)
+        self._connections.add(conn)
+        self.total_connections += 1
+        try:
+            await self._connection_loop(conn)
+        except (FramingError, ConnectionError, OSError):
+            pass  # corrupt stream or peer reset: drop the connection
+        finally:
+            self._connections.discard(conn)
+            await self._close_connection(conn)
+
+    async def _close_connection(self, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        try:
+            conn.writer.close()
+            await conn.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _connection_loop(self, conn: _Connection) -> None:
+        while True:
+            frame = await read_frame(conn.reader)
+            if frame is None:
+                # Clean EOF.  In-flight responses for this peer are
+                # moot, but the session work completes regardless.
+                return
+            if frame.type is FrameType.HELLO:
+                codec.decode_hello(frame.payload)  # version check hook
+                await conn.send(
+                    FrameType.WELCOME,
+                    frame.request_id,
+                    codec.encode_welcome(self._welcome()),
+                )
+            elif frame.type in _REQUEST_FRAMES:
+                await self._handle_request(conn, frame)
+            elif frame.type is FrameType.OUTSOURCE:
+                # run as a tracked task so a drain starting mid-upload
+                # waits for it like any other in-flight work (the await
+                # keeps per-connection frame ordering unchanged)
+                task = asyncio.ensure_future(
+                    self._handle_outsource(conn, frame)
+                )
+                conn.tasks.add(task)
+                task.add_done_callback(conn.tasks.discard)
+                await task
+            elif frame.type is FrameType.STATS:
+                await conn.send(
+                    FrameType.STATS_RESULT,
+                    frame.request_id,
+                    codec.encode_stats(self.stats()),
+                )
+            elif frame.type is FrameType.PING:
+                await conn.send(FrameType.PONG, frame.request_id)
+            elif frame.type is FrameType.DRAIN:
+                self.begin_drain()
+                assert self._drained is not None
+                await self._drained.wait()
+                await conn.send(FrameType.DRAIN_OK, frame.request_id)
+                return
+            else:
+                await conn.send(
+                    FrameType.ERROR,
+                    frame.request_id,
+                    codec.encode_error(
+                        codec.ERR_BAD_FRAME,
+                        f"unexpected frame type {frame.type.name}",
+                    ),
+                )
+
+    # -- request admission + execution -----------------------------------
+
+    async def _handle_request(self, conn: _Connection, frame: Frame) -> None:
+        if self._draining:
+            await conn.send(
+                FrameType.ERROR,
+                frame.request_id,
+                codec.encode_error(
+                    codec.ERR_DRAINING, "service is draining"
+                ),
+            )
+            return
+        try:
+            request, deadline = codec.decode_request(frame.type, frame.payload)
+        except (FramingError, ValueError) as exc:
+            await conn.send(
+                FrameType.ERROR,
+                frame.request_id,
+                codec.encode_error(codec.ERR_BAD_FRAME, str(exc)),
+            )
+            return
+
+        loop = asyncio.get_running_loop()
+        abs_deadline = (
+            float("inf") if deadline is None else loop.time() + deadline
+        )
+        if not await self._admit(conn, frame.request_id, abs_deadline):
+            return
+
+        try:
+            cf_future = self.session.submit(request)
+        except (CapabilityError, RuntimeError, ValueError, TypeError) as exc:
+            conn.in_flight.pop(frame.request_id, None)
+            code = (
+                codec.ERR_CAPABILITY
+                if isinstance(exc, CapabilityError)
+                else codec.ERR_REMOTE
+            )
+            await conn.send(
+                FrameType.ERROR,
+                frame.request_id,
+                codec.encode_error(code, str(exc)),
+            )
+            return
+        self.accepted += 1
+        future = asyncio.wrap_future(cf_future, loop=loop)
+        conn.in_flight[frame.request_id].cf_future = cf_future
+        task = asyncio.ensure_future(
+            self._respond(conn, frame.request_id, future)
+        )
+        conn.tasks.add(task)
+        task.add_done_callback(conn.tasks.discard)
+
+    async def _admit(
+        self, conn: _Connection, request_id: int, abs_deadline: float
+    ) -> bool:
+        """Bounded-in-flight admission with oldest-deadline shedding.
+
+        Returns True when ``request_id`` was admitted (and placed in
+        the in-flight set); False when it was shed (an ``ERR_SHED``
+        frame has been written)."""
+        while len(conn.in_flight) >= self.max_in_flight:
+            victim = min(
+                conn.in_flight.values(), key=lambda e: e.deadline, default=None
+            )
+            # The incoming request is its own shedding candidate: when
+            # every queued entry out-deadlines it — or the oldest-
+            # deadline victim already started executing, so cancel()
+            # fails — the incoming request is the one dropped.
+            if victim is None or victim.deadline >= abs_deadline or not (
+                victim.cf_future is not None and victim.cf_future.cancel()
+            ):
+                self._record_shed()
+                await conn.send(
+                    FrameType.ERROR,
+                    request_id,
+                    codec.encode_error(
+                        codec.ERR_SHED,
+                        f"in-flight queue full ({self.max_in_flight}); "
+                        f"request shed by oldest-deadline policy",
+                    ),
+                )
+                return False
+            # victim.future.cancel() succeeded; its _respond task will
+            # observe the CancelledError and answer ERR_SHED.
+            self._record_shed()
+            conn.in_flight.pop(victim.request_id, None)
+        conn.in_flight[request_id] = _InFlight(
+            request_id=request_id, deadline=abs_deadline
+        )
+        return True
+
+    async def _respond(
+        self, conn: _Connection, request_id: int, future: "asyncio.Future"
+    ) -> None:
+        try:
+            outcome = await future
+        except asyncio.CancelledError:
+            conn.in_flight.pop(request_id, None)
+            await conn.send(
+                FrameType.ERROR,
+                request_id,
+                codec.encode_error(
+                    codec.ERR_SHED,
+                    "request shed by oldest-deadline policy while queued",
+                ),
+            )
+            return
+        except BaseException as exc:
+            conn.in_flight.pop(request_id, None)
+            self.failed += 1
+            code = (
+                codec.ERR_CAPABILITY
+                if isinstance(exc, CapabilityError)
+                else codec.ERR_REMOTE
+            )
+            await conn.send(
+                FrameType.ERROR,
+                request_id,
+                codec.encode_error(code, f"{type(exc).__name__}: {exc}"),
+            )
+            return
+        conn.in_flight.pop(request_id, None)
+        self.completed += 1
+        ftype, payload = codec.encode_search_outcome(outcome)
+        await conn.send(ftype, request_id, payload)
+
+    async def _handle_outsource(self, conn: _Connection, frame: Frame) -> None:
+        if self._draining:
+            await conn.send(
+                FrameType.ERROR,
+                frame.request_id,
+                codec.encode_error(codec.ERR_DRAINING, "service is draining"),
+            )
+            return
+        try:
+            db_bits = codec.decode_outsource(frame.payload)
+        except (FramingError, ValueError) as exc:
+            await conn.send(
+                FrameType.ERROR,
+                frame.request_id,
+                codec.encode_error(codec.ERR_BAD_FRAME, str(exc)),
+            )
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            # Packing + encryption is CPU-heavy; keep the loop live.
+            async with self._outsource_lock:
+                await loop.run_in_executor(
+                    None, self.session.outsource, db_bits
+                )
+        except BaseException as exc:
+            self.failed += 1
+            await conn.send(
+                FrameType.ERROR,
+                frame.request_id,
+                codec.encode_error(
+                    codec.ERR_REMOTE, f"{type(exc).__name__}: {exc}"
+                ),
+            )
+            return
+        await conn.send(
+            FrameType.OUTSOURCE_OK,
+            frame.request_id,
+            codec.encode_outsource_ok(self.session.db_bit_length or 0),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Event-loop-on-a-thread harness
+# ---------------------------------------------------------------------------
+
+
+class ServiceThread:
+    """Run an :class:`AsyncSearchService` on a dedicated loop thread.
+
+    The loopback harness behind :class:`repro.net.RemoteEngine`'s
+    self-serving mode, the test suite and ``benchmarks/bench_net.py``:
+    ``start()`` returns once the socket is bound (``.address`` is then
+    valid), ``stop()`` drains gracefully and joins the thread.
+    """
+
+    def __init__(self, engine="bfv-sharded", *, session=None, **kwargs):
+        self._engine = engine
+        self._session = session
+        self._kwargs = kwargs
+        self._ready = threading.Event()
+        self._address: Optional[tuple[str, int]] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._service: Optional[AsyncSearchService] = None
+        self._thread: Optional[threading.Thread] = None
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._address is None:
+            raise RuntimeError("service thread is not started")
+        return self._address
+
+    @property
+    def service(self) -> AsyncSearchService:
+        if self._service is None:
+            raise RuntimeError("service thread is not started")
+        return self._service
+
+    def start(self) -> "ServiceThread":
+        if self._thread is not None:
+            raise RuntimeError("service thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-net-service", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                self._service = AsyncSearchService(
+                    self._engine, session=self._session, **self._kwargs
+                )
+                self._loop = asyncio.get_running_loop()
+                self._address = await self._service.start()
+            except BaseException as exc:  # surface constructor failures
+                self._startup_error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            await self._service.serve_forever()
+            await self._service.shutdown_connections()
+
+        asyncio.run(main())
+
+    def stop(self) -> None:
+        """Graceful drain from any thread; joins the loop thread."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._service is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._service.begin_drain)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout=30)
+        self._thread = None
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -51,6 +51,15 @@ class ServeScheduler:
         self.geometry = geometry or FlashGeometry()
         self.timings = timings or FlashTimings()
         self.word_bits = word_bits
+        #: queries dropped by a serving front end's admission control
+        #: (e.g. repro.net oldest-deadline shedding) — work the device
+        #: model never saw, accounted here so capacity planning can
+        #: compare executed vs offered load.
+        self.sheds = 0
+
+    def record_shed(self, count: int = 1) -> None:
+        """Account ``count`` admission-control rejections."""
+        self.sheds += count
 
     def placement(self, shard_id: int) -> Tuple[int, int]:
         """(channel, die) for a shard: distinct channels first, so shards

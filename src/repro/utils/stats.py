@@ -12,7 +12,11 @@ def percentile(values: Sequence[float], pct: float) -> float:
     percentiles and the serving report's wall/modeled percentiles, so
     the convention cannot drift between the two.
     """
-    if not values:
+    # length-based emptiness test: `not values` raises on multi-element
+    # numpy arrays, and an empty latency sample (e.g. a ServeReport
+    # rendered before any batch ran, or after every query was shed)
+    # must render as 0.0 rather than raise
+    if len(values) == 0:
         return 0.0
     if not 0 < pct <= 100:
         raise ValueError("percentile must be in (0, 100]")

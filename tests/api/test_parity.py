@@ -26,6 +26,9 @@ ENGINE_KWARGS = {
     "yasuda": {"seed": 16},
     "kim-homeq": {"seed": 17},
     "bonte": {"seed": 18},
+    # loopback TCP service around the default bfv-sharded engine: the
+    # same parity bar, held across a real socket
+    "remote": {"key_seed": 19, "num_shards": 2},
 }
 
 

@@ -26,6 +26,7 @@ ALL_KEYS = (
     "yasuda",
     "kim-homeq",
     "bonte",
+    "remote",
 )
 
 

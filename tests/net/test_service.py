@@ -1,0 +1,304 @@
+"""Behavioral tests for the TCP service + client SDK.
+
+Covers the tentpole's operational guarantees: concurrent-client
+submission ordering, bounded-in-flight backpressure with
+oldest-deadline shedding (fed into ServeScheduler accounting),
+reconnect-and-resend, graceful drain, and the stats frame.
+
+The crypto-heavy lanes use tiny BFV parameters; shedding/ordering
+lanes use the plaintext oracle (optionally slowed) so timing-sensitive
+assertions stay deterministic.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import PlaintextEngine, Session
+from repro.api.requests import ExactSearch
+from repro.he import BFVParams
+from repro.net import (
+    AsyncClient,
+    Client,
+    RequestShedError,
+    ServiceDrainingError,
+    ServiceThread,
+    parse_address,
+)
+
+
+class SlowPlaintextEngine(PlaintextEngine):
+    """Plaintext oracle with a fixed per-search delay (test harness)."""
+
+    key = "slow-plaintext"
+
+    def __init__(self, delay: float):
+        super().__init__()
+        self.delay = delay
+
+    def _exact(self, bits, verify):
+        time.sleep(self.delay)
+        return super()._exact(bits, verify)
+
+
+def _planted_db(num_queries: int, bits: int = 24, seed: int = 7):
+    """A database with one unique planted pattern per query."""
+    rng = np.random.default_rng(seed)
+    db = rng.integers(0, 2, 4096).astype(np.uint8)
+    queries, offsets = [], []
+    for k in range(num_queries):
+        q = rng.integers(0, 2, bits).astype(np.uint8)
+        off = 100 + 200 * k
+        db[off : off + bits] = q
+        queries.append(q)
+        offsets.append(off)
+    return db, queries, offsets
+
+
+@pytest.fixture()
+def plaintext_service():
+    with ServiceThread(session=Session(PlaintextEngine())) as service:
+        yield service
+
+
+def test_parse_address():
+    assert parse_address("127.0.0.1:9137") == ("127.0.0.1", 9137)
+    assert parse_address(("::1", 80)) == ("::1", 80)
+    with pytest.raises(ValueError):
+        parse_address("no-port")
+
+
+def test_welcome_reports_engine_and_db_state(plaintext_service):
+    with Client(plaintext_service.address) as client:
+        welcome = client.welcome
+        assert welcome.engine == "plaintext"
+        assert welcome.scheme == "none"
+        assert welcome.db_bit_length is None
+        client.outsource(np.zeros(128, dtype=np.uint8))
+        # a fresh handshake sees the outsourced length
+    with Client(plaintext_service.address) as client2:
+        assert client2.welcome.db_bit_length == 128
+
+
+def test_search_before_outsource_is_a_remote_error(plaintext_service):
+    from repro.net import RemoteError
+
+    with Client(plaintext_service.address) as client:
+        with pytest.raises(RemoteError, match="outsource"):
+            client.search(np.ones(8, dtype=np.uint8))
+
+
+def test_concurrent_clients_get_their_own_results(plaintext_service):
+    """N clients x K in-flight queries each: every future resolves with
+    the matches of its own query, whatever coalescing happened."""
+    db, queries, offsets = _planted_db(num_queries=12)
+    with Client(plaintext_service.address) as seed_client:
+        seed_client.outsource(db)
+
+    results = {}
+    errors = []
+
+    def run_client(client_idx: int) -> None:
+        try:
+            with Client(plaintext_service.address, pool_size=1) as client:
+                futures = [
+                    (k, client.submit(queries[k]))
+                    for k in range(client_idx, 12, 3)
+                ]
+                for k, future in futures:
+                    results[(client_idx, k)] = future.result(timeout=30).matches
+        except BaseException as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run_client, args=(i,)) for i in range(3)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    for (_, k), matches in results.items():
+        assert offsets[k] in matches, f"query {k} lost its own result"
+
+
+def test_submission_order_per_connection(plaintext_service):
+    """Futures of one client resolve with their own query's result in
+    submission order (the Session guarantee, preserved over the wire)."""
+    db, queries, offsets = _planted_db(num_queries=8)
+    with Client(plaintext_service.address, pool_size=1) as client:
+        client.outsource(db)
+        futures = [client.submit(q) for q in queries]
+        for k, future in enumerate(futures):
+            assert offsets[k] in future.result(timeout=30).matches
+
+
+def test_backpressure_sheds_oldest_deadline():
+    """With the in-flight bound full, the request with the earliest
+    deadline is the one shed — queued victims are cancelled, and an
+    incoming request with the oldest deadline sheds itself."""
+    engine = SlowPlaintextEngine(0.4)
+    engine.outsource(np.zeros(64, dtype=np.uint8))
+    with ServiceThread(
+        session=Session(engine), max_in_flight=2
+    ) as service:
+        with Client(service.address, pool_size=1) as client:
+            query = np.ones(8, dtype=np.uint8)
+            # A starts executing; B queues behind it.
+            fut_a = client.submit(query)
+            time.sleep(0.15)  # let the dispatcher start A
+            fut_b = client.submit(query, deadline=5.0)
+            time.sleep(0.05)
+            # C has the oldest deadline of the sheddable set -> C shed.
+            fut_c = client.submit(query, deadline=0.05)
+            with pytest.raises(RequestShedError):
+                fut_c.result(timeout=30)
+            # D out-deadlines queued B -> B (oldest deadline) cancelled.
+            fut_d = client.submit(query, deadline=60.0)
+            with pytest.raises(RequestShedError):
+                fut_b.result(timeout=30)
+            assert fut_a.result(timeout=30).matches == ()
+            assert fut_d.result(timeout=30).matches == ()
+
+            stats = client.stats()
+            assert stats.shed == 2
+            assert stats.completed >= 2
+
+
+def test_sheds_feed_serve_scheduler_accounting():
+    """Front-end sheds land in the backing engine's ServeScheduler."""
+    from repro.api import ShardedEngine
+
+    class SlowShardedEngine(ShardedEngine):
+        # sleep *before* the crypto so the admission window is open
+        # while the first request holds the dispatcher
+        key = "slow-sharded"
+
+        def _exact(self, bits, verify):
+            time.sleep(0.4)
+            return super()._exact(bits, verify)
+
+    params = BFVParams.test_small(64)
+    engine = SlowShardedEngine(params=params, num_shards=2, key_seed=5)
+    with ServiceThread(
+        session=Session(engine), max_in_flight=1
+    ) as service:
+        with Client(service.address, pool_size=1) as client:
+            db, queries, offsets = _planted_db(num_queries=2, bits=32)
+            client.outsource(db)
+            fut_keep = client.submit(queries[0], deadline=30.0)
+            time.sleep(0.1)  # first request is in flight (sleeping)
+            fut_shed = client.submit(queries[1], deadline=0.01)
+            with pytest.raises(RequestShedError):
+                fut_shed.result(timeout=60)
+            assert offsets[0] in fut_keep.result(timeout=60).matches
+            stats = client.stats()
+            assert stats.scheduler_sheds == stats.shed == 1
+        scheduler = service.service.session.engine.engine.scheduler
+        assert scheduler.sheds == 1
+
+
+def test_reconnect_after_idle_drop(plaintext_service):
+    """A connection dropped while idle is re-established on next use."""
+    db, queries, offsets = _planted_db(num_queries=1)
+    with Client(plaintext_service.address, pool_size=1) as client:
+        client.outsource(db)
+        assert offsets[0] in client.search(queries[0]).matches
+        # Simulate the network dropping the socket under the client.
+        conn = client._pool[0]
+        conn._sock.shutdown(2)
+        time.sleep(0.1)
+        assert offsets[0] in client.search(queries[0]).matches
+
+
+def test_reconnect_resends_in_flight_requests():
+    """Requests outstanding on a dropped connection are replayed onto a
+    fresh connection and still resolve."""
+    engine = SlowPlaintextEngine(0.5)
+    db, queries, offsets = _planted_db(num_queries=1)
+    engine.outsource(db)
+    with ServiceThread(session=Session(engine)) as service:
+        with Client(service.address, pool_size=1) as client:
+            future = client.submit(queries[0])
+            time.sleep(0.1)  # request is on the wire / executing
+            client._pool[0]._sock.shutdown(2)  # drop the connection
+            # the reader notices, reconnects, resends; the resent
+            # request executes again and resolves the same future
+            assert offsets[0] in future.result(timeout=30).matches
+
+
+def test_async_client(plaintext_service):
+    import asyncio
+
+    db, queries, offsets = _planted_db(num_queries=3)
+
+    async def main():
+        client = await AsyncClient.connect(plaintext_service.address)
+        try:
+            assert (await client.outsource(db)) == len(db)
+            futures = [await client.submit(q) for q in queries]
+            results = await asyncio.gather(*futures)
+            for k, result in enumerate(results):
+                assert offsets[k] in result.matches
+            batch = await client.search_batch(queries)
+            assert batch.num_queries == 3
+            stats = await client.stats()
+            assert stats.completed >= 4
+        finally:
+            await client.aclose()
+
+    asyncio.run(main())
+
+
+def test_stats_frame_includes_serve_report():
+    params = BFVParams.test_small(64)
+    with ServiceThread(
+        "bfv-sharded", params=params, num_shards=2, key_seed=6
+    ) as service:
+        with Client(service.address) as client:
+            db, queries, _ = _planted_db(num_queries=3, bits=32)
+            client.outsource(db)
+            client.search_batch(queries)
+            stats = client.stats()
+            assert stats.served_queries == 3
+            assert stats.throughput_qps > 0
+            assert "serving batch report" in stats.report_text
+            assert stats.wall_p50 <= stats.wall_p95 <= stats.wall_p99
+
+
+def test_drain_completes_in_flight_then_rejects():
+    engine = SlowPlaintextEngine(0.3)
+    db, queries, offsets = _planted_db(num_queries=1)
+    engine.outsource(db)
+    with ServiceThread(session=Session(engine)) as service:
+        with Client(service.address, pool_size=2) as client:
+            in_flight = client.submit(queries[0])
+            time.sleep(0.05)
+            drainer = threading.Thread(target=client.drain)
+            drainer.start()
+            # in-flight work completes during the drain
+            assert offsets[0] in in_flight.result(timeout=30).matches
+            drainer.join(timeout=30)
+            assert not drainer.is_alive()
+            stats_draining = True  # service refuses new work afterwards
+            try:
+                client.search(queries[0])
+                stats_draining = False
+            except (ServiceDrainingError, ConnectionError, OSError):
+                pass
+            assert stats_draining
+
+
+def test_open_session_remote_roundtrip(plaintext_service):
+    """repro.open_session('remote', address=...) talks to the service."""
+    db, queries, offsets = _planted_db(num_queries=1)
+    with repro.open_session(
+        "remote", address=plaintext_service.address, db_bits=db
+    ) as session:
+        result = session.search(queries[0])
+    assert offsets[0] in result.matches
+    assert result.engine == "remote"
+    assert result.scheme == "none"  # backing engine's scheme, negotiated

@@ -1,0 +1,77 @@
+"""ServeReport rendering robustness + scheduler shed accounting."""
+
+import numpy as np
+
+from repro.serve.cache import CacheStats
+from repro.serve.report import ServeReport
+from repro.serve.scheduler import ServeScheduler
+from repro.utils.stats import percentile
+
+
+def _empty_report() -> ServeReport:
+    """What a serving front end holds before any batch ran (or after
+    every query was shed by admission control)."""
+    return ServeReport(
+        reports=[],
+        num_shards=4,
+        num_workers=4,
+        wall_seconds=0.0,
+        latencies=[],
+        deduplicated_hits=0,
+        cache=CacheStats(capacity=8, size=0, hits=0, misses=0, evictions=0),
+    )
+
+
+class TestEmptyLatencySample:
+    def test_percentiles_are_zero_not_raising(self):
+        report = _empty_report()
+        for pct in (50, 95, 99, 100):
+            assert report.latency_percentile(pct) == 0.0
+            assert report.modeled_latency_percentile(pct) == 0.0
+
+    def test_summary_table_renders(self):
+        table = _empty_report().summary_table()
+        assert "serving batch report" in table
+        assert "0.00 / 0.00 / 0.00 ms" in table
+
+    def test_shard_table_renders(self):
+        assert "per-shard utilization" in _empty_report().shard_table()
+
+    def test_throughput_zero_on_zero_wall(self):
+        report = _empty_report()
+        assert report.throughput_qps == 0.0
+        assert report.modeled_throughput_qps == 0.0
+
+
+class TestPercentileHelper:
+    def test_empty_sequence(self):
+        assert percentile([], 99) == 0.0
+
+    def test_empty_numpy_array(self):
+        assert percentile(np.array([]), 50) == 0.0
+
+    def test_numpy_array_input(self):
+        # `not array` raises on multi-element arrays; the helper must
+        # accept the ndarray latency vectors benchmarks hand it
+        assert percentile(np.array([3.0, 1.0, 2.0]), 50) == 2.0
+
+    def test_nearest_rank_unchanged(self):
+        values = [0.1, 0.2, 0.3, 0.4]
+        assert percentile(values, 50) == 0.2
+        assert percentile(values, 100) == 0.4
+
+
+class TestSchedulerShedAccounting:
+    def test_record_shed_accumulates(self):
+        scheduler = ServeScheduler()
+        assert scheduler.sheds == 0
+        scheduler.record_shed()
+        scheduler.record_shed(3)
+        assert scheduler.sheds == 4
+
+    def test_sheds_do_not_disturb_simulation(self):
+        scheduler = ServeScheduler()
+        scheduler.record_shed(5)
+        result = scheduler.simulate([], ciphertext_bytes=0)
+        assert result.makespan == 0.0
+        assert scheduler.sheds == 5
