@@ -84,7 +84,9 @@ def _search(args: argparse.Namespace) -> int:
         return 2
     if args.remote is not None:
         # the server side owns shard/backend/kernel/key configuration
-        for name in ("shards", "poly_backend", "search_kernel", "key_seed"):
+        for name in (
+            "shards", "poly_backend", "search_kernel", "executor", "key_seed"
+        ):
             if getattr(args, name, None) is not None:
                 print(
                     f"error: --{name.replace('_', '-')} configures a local "
@@ -106,6 +108,13 @@ def _search(args: argparse.Namespace) -> int:
                 )
                 return 2
             engine_kwargs["search_kernel"] = args.search_kernel
+        if getattr(args, "executor", None) is not None:
+            if args.engine != "bfv-sharded":
+                print(
+                    f"error: engine {args.engine!r} has no executor choice"
+                )
+                return 2
+            engine_kwargs["executor"] = args.executor
         if args.key_seed is not None and args.engine != "plaintext":
             # every HE engine takes a seed under one of these names
             engine_kwargs[
@@ -251,6 +260,7 @@ def _serve(args: argparse.Namespace) -> int:
         key_seed=11,
         cache_capacity=128,
         poly_backend=args.poly_backend,
+        executor=args.executor,
         db_bits=db,
     ) as session:
         session.search_batch(queries)
@@ -286,6 +296,8 @@ def _serve_net(args: argparse.Namespace) -> int:
         engine_kwargs["poly_backend"] = args.poly_backend
     if args.search_kernel is not None:
         engine_kwargs["search_kernel"] = args.search_kernel
+    if args.executor is not None:
+        engine_kwargs["executor"] = args.executor
     if args.key_seed is not None:
         engine_kwargs["key_seed"] = args.key_seed
 
@@ -379,6 +391,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="search execution kernel (bfv / bfv-sharded engines)",
     )
     p_search.add_argument(
+        "--executor", choices=["thread", "process"],
+        help="shard executor (bfv-sharded engine only): thread workers "
+        "or spawn-pinned worker processes over a shared-memory arena",
+    )
+    p_search.add_argument(
         "--key-seed", type=int, help="deterministic key generation seed"
     )
     p_search.add_argument(
@@ -435,6 +452,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--poly-backend", choices=["vectorized", "reference"],
         help="polynomial-arithmetic backend",
     )
+    p_serve.add_argument(
+        "--executor", choices=["thread", "process"],
+        help="shard executor: thread workers or spawn-pinned worker "
+        "processes over a shared-memory arena",
+    )
     p_serve.set_defaults(func=_serve)
 
     p_serve_net = sub.add_parser(
@@ -466,6 +488,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve_net.add_argument(
         "--search-kernel", choices=["fused", "object"],
         help="search execution kernel",
+    )
+    p_serve_net.add_argument(
+        "--executor", choices=["thread", "process"],
+        help="shard executor: thread workers or spawn-pinned worker "
+        "processes over a shared-memory arena",
     )
     p_serve_net.add_argument(
         "--key-seed", type=int, help="deterministic key generation seed"

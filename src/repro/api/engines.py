@@ -349,6 +349,7 @@ class ShardedEngine(Engine):
         index_mode: IndexMode = IndexMode.CLIENT_DECRYPT,
         poly_backend: Optional[str] = None,
         search_kernel: Optional[str] = None,
+        executor: Optional[str] = None,
         cache_capacity: int = 256,
         max_workers: Optional[int] = None,
         backend_factory: Optional[Callable] = None,
@@ -376,6 +377,7 @@ class ShardedEngine(Engine):
             max_workers=max_workers,
             cache_capacity=cache_capacity,
             search_kernel=search_kernel,
+            executor=executor,
         )
         #: full :class:`~repro.serve.report.ServeReport` of the most
         #: recent batch (wall/modeled latency percentiles, cache stats).
@@ -383,6 +385,10 @@ class ShardedEngine(Engine):
 
     def outsource(self, db_bits: np.ndarray) -> None:
         self.engine.outsource(np.asarray(db_bits, dtype=np.uint8))
+
+    def close(self) -> None:
+        """Shut down shard worker processes (no-op under threads)."""
+        self.engine.close()
 
     def adopt_database(self, db) -> None:
         """Shard a database some pipeline already encrypted."""

@@ -44,7 +44,10 @@ process default applies: :func:`set_default_search_kernel`, else the
 from __future__ import annotations
 
 import os
+import tempfile
 import threading
+import weakref
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -194,6 +197,10 @@ class CiphertextArena:
         self._phase_cache: Tuple[object, np.ndarray] | None = None
         #: cached RNS-limb view of the c1 rows (vectorized backend)
         self._c1_limbs: np.ndarray | None = None
+        #: OS-shared backing blocks (kept alive for the arena's lifetime)
+        self._blocks: List["_SharedBlock"] | None = None
+        #: handle returned by :meth:`share` (root arenas only)
+        self._shared_handle: "SharedArenaHandle | None" = None
 
     # -- construction ------------------------------------------------------
 
@@ -342,6 +349,189 @@ class CiphertextArena:
             phases = add_mod_q(self.c0, c1_s, q)
             self._phase_cache = (sk, phases)
             return phases
+
+    # -- OS-shared backing (process-parallel serving shards) ---------------
+
+    def share(self, backing: str = "auto") -> "SharedArenaHandle":
+        """Move the arena's stack — and, on the vectorized backend, its
+        cached RNS-limb view — into OS shared memory so worker processes
+        can attach zero-copy views by name instead of pickling poly data.
+
+        Root arenas only (shard slices share through their parent).  The
+        arena keeps reading the shared copy after this call, so existing
+        ``slice()`` views and phase caches built *afterwards* alias the
+        same pages the workers see.  Idempotent: repeated calls return
+        the same handle.  ``backing`` is ``"shm"``
+        (:mod:`multiprocessing.shared_memory`), ``"memmap"`` (a
+        temp-file :class:`numpy.memmap`, the fallback for hosts without
+        POSIX shared memory), or ``"auto"``.
+        """
+        if self._parent is not None:
+            raise ValueError("share() applies to root arenas; share the parent")
+        # c1_limbs() takes self._lock — compute before acquiring it here.
+        limbs = self.c1_limbs()
+        with self._lock:
+            if self._shared_handle is not None:
+                return self._shared_handle
+            stack_block = _create_block(self.stack.shape, backing)
+            np.copyto(stack_block.array, self.stack)
+            self.stack = stack_block.array
+            blocks = [stack_block]
+            limbs_ref = limbs_shape = None
+            if limbs is not None:
+                limbs_block = _create_block(limbs.shape, stack_block.kind)
+                np.copyto(limbs_block.array, limbs)
+                self._c1_limbs = limbs_block.array
+                blocks.append(limbs_block)
+                limbs_ref = limbs_block.ref
+                limbs_shape = tuple(limbs.shape)
+            self._blocks = blocks
+            self._shared_handle = SharedArenaHandle(
+                kind=stack_block.kind,
+                stack_ref=stack_block.ref,
+                stack_shape=tuple(self.stack.shape),
+                limbs_ref=limbs_ref,
+                limbs_shape=limbs_shape,
+            )
+            return self._shared_handle
+
+    @classmethod
+    def attach_shared(
+        cls,
+        ring: RingContext,
+        params: "BFVParams",
+        handle: "SharedArenaHandle",
+        start: Optional[int] = None,
+        stop: Optional[int] = None,
+    ) -> "CiphertextArena":
+        """Attach the stack published by :meth:`share` in another
+        process, as a *root* arena over rows ``[start, stop)`` (the
+        whole stack when omitted).
+
+        No coefficient data crosses the process boundary — the child
+        maps the same pages by name and slices its shard's rows.  The
+        returned arena pins the underlying mappings for its lifetime;
+        it never unlinks them (the sharing process owns cleanup).
+        """
+        start = 0 if start is None else start
+        stop = handle.stack_shape[0] if stop is None else stop
+        stack_block = _attach_block(handle.kind, handle.stack_ref, handle.stack_shape)
+        arena = cls(ring, params, stack_block.array[start:stop], base_index=start)
+        arena._blocks = [stack_block]
+        if handle.limbs_ref is not None and isinstance(
+            ring.backend, VectorizedBackend
+        ):
+            limbs_block = _attach_block(
+                handle.kind, handle.limbs_ref, handle.limbs_shape
+            )
+            arena._c1_limbs = limbs_block.array[start:stop]
+            arena._blocks.append(limbs_block)
+        return arena
+
+
+# ---------------------------------------------------------------------------
+# OS-shared backing blocks
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SharedArenaHandle:
+    """Picklable name-and-shape reference to a shared arena's backing.
+
+    ``kind`` is ``"shm"`` or ``"memmap"``; ``stack_ref`` / ``limbs_ref``
+    are the shared-memory segment name or memmap file path.  Sending
+    this across a pipe is how a shard worker learns where the database
+    lives — never the coefficients themselves.
+    """
+
+    kind: str
+    stack_ref: str
+    stack_shape: Tuple[int, int, int]
+    limbs_ref: Optional[str] = None
+    limbs_shape: Optional[Tuple[int, ...]] = None
+
+
+class _SharedBlock:
+    """One OS-shared int64 buffer plus its keep-alive / cleanup hooks.
+
+    The creating side owns the segment and unlinks it when the block is
+    garbage-collected; attaching sides only close their mapping.  The
+    ndarray in ``array`` views the mapping directly, so the block must
+    stay referenced for as long as any view of it is used.
+    """
+
+    def __init__(self, kind: str, ref: str, array: np.ndarray, cleanup):
+        self.kind = kind
+        self.ref = ref
+        self.array = array
+        if cleanup is not None:
+            self._finalizer = weakref.finalize(self, cleanup)
+
+
+def _create_block(shape: Tuple[int, ...], backing: str) -> _SharedBlock:
+    if backing not in ("auto", "shm", "memmap"):
+        raise ValueError(f"unknown arena backing {backing!r}")
+    nbytes = int(np.prod(shape)) * np.dtype(np.int64).itemsize
+    if backing in ("auto", "shm"):
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        except (ImportError, OSError):
+            if backing == "shm":
+                raise
+        else:
+            array = np.ndarray(shape, dtype=np.int64, buffer=shm.buf)
+
+            def cleanup(shm=shm):
+                try:
+                    shm.close()
+                except Exception:  # buffer still exported
+                    pass
+                try:
+                    shm.unlink()  # also unregisters from the tracker
+                except Exception:  # already gone
+                    pass
+
+            return _SharedBlock("shm", shm.name, array, cleanup)
+    fd, path = tempfile.mkstemp(prefix="repro-arena-", suffix=".mm")
+    os.close(fd)
+    array = np.memmap(path, dtype=np.int64, mode="w+", shape=shape)
+
+    def cleanup(path=path):
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    return _SharedBlock("memmap", path, array, cleanup)
+
+
+def _attach_block(kind: str, ref: str, shape: Tuple[int, ...]) -> _SharedBlock:
+    if kind == "memmap":
+        array = np.memmap(ref, dtype=np.int64, mode="r", shape=shape)
+        return _SharedBlock("memmap", ref, array, None)
+    from multiprocessing import shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(name=ref, track=False)
+    except TypeError:
+        # Python < 3.13 has no track=: attaching registers the segment
+        # with the resource tracker, which would unlink it when *this*
+        # process exits even though the sharing process owns it.  Mute
+        # the registration for the duration of the attach.
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=ref)
+        finally:
+            resource_tracker.register = original_register
+    array = np.ndarray(shape, dtype=np.int64, buffer=shm.buf)
+    block = _SharedBlock("shm", ref, array, None)
+    block._shm = shm  # keep the mapping alive alongside the view
+    return block
 
 
 # ---------------------------------------------------------------------------

@@ -507,6 +507,13 @@ class ServiceStats:
     wall_p99: float
     throughput_qps: float
     cache_hit_rate: float
+    #: shard executor behind the engine ("thread" / "process"; "" when
+    #: the engine has no executor notion)
+    executor: str
+    #: shard worker-process restarts over the engine's life
+    worker_restarts: int
+    #: shard tasks that survived a worker crash (restart + retry)
+    dead_shard_degradations: int
     #: rendered ServeReport.summary_table() of the last batch ("" if none)
     report_text: str
 
@@ -520,6 +527,8 @@ def encode_stats(stats: ServiceStats) -> bytes:
     w.u64(stats.scheduler_sheds).u64(stats.served_queries)
     w.f64(stats.wall_p50).f64(stats.wall_p95).f64(stats.wall_p99)
     w.f64(stats.throughput_qps).f64(stats.cache_hit_rate)
+    w.u64(stats.worker_restarts).u64(stats.dead_shard_degradations)
+    w.blob(stats.executor.encode("utf-8"))
     w.blob(stats.report_text.encode("utf-8"))
     return w.bytes()
 
@@ -541,6 +550,9 @@ def decode_stats(payload: bytes) -> ServiceStats:
         wall_p99=r.f64(),
         throughput_qps=r.f64(),
         cache_hit_rate=r.f64(),
+        worker_restarts=r.u64(),
+        dead_shard_degradations=r.u64(),
+        executor=r.blob().decode("utf-8"),
         report_text=r.blob().decode("utf-8"),
     )
     r.done()

@@ -246,6 +246,12 @@ class AsyncSearchService:
             p50 = p95 = p99 = throughput = cache_hit_rate = 0.0
             text = ""
             served = 0
+        # Worker-health surface: only the sharded engine has an
+        # executor notion; other engines report the neutral defaults.
+        inner = getattr(self.session.engine, "engine", None)
+        executor = str(getattr(inner, "executor_kind", "") or "")
+        worker_restarts = int(getattr(inner, "worker_restarts", 0) or 0)
+        degradations = int(getattr(inner, "degraded_tasks", 0) or 0)
         return codec.ServiceStats(
             active_connections=len(self._connections),
             total_connections=self.total_connections,
@@ -261,6 +267,9 @@ class AsyncSearchService:
             wall_p99=p99,
             throughput_qps=throughput,
             cache_hit_rate=cache_hit_rate,
+            executor=executor,
+            worker_restarts=worker_restarts,
+            dead_shard_degradations=degradations,
             report_text=text,
         )
 

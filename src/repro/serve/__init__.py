@@ -32,6 +32,15 @@ concurrent, sharded serving engine:
     shard statistics, rendered with the :mod:`repro.eval.tables`
     helpers.
 
+:mod:`repro.serve.executor`
+    Pluggable shard executors: ``"thread"`` (the GIL-bound parity
+    oracle) or ``"process"`` — per-shard worker processes attached
+    zero-copy to the database's shared-memory ciphertext arena, the
+    path that actually scales across cores (``docs/scaling.md``).
+    Select per engine (``executor=``), per process
+    (:func:`set_default_serve_executor`), or via the
+    ``REPRO_SERVE_EXECUTOR`` environment variable.
+
 Quickstart
 ----------
 >>> import numpy as np
@@ -53,17 +62,35 @@ one to eight shards.
 
 from .cache import CacheStats, VariantCipherCache
 from .engine import BackendFactory, DbShard, ShardedSearchEngine
+from .executor import (
+    EXECUTOR_ENV_VAR,
+    SERVE_EXECUTORS,
+    ProcessShardExecutor,
+    WorkerCrashError,
+    get_default_serve_executor,
+    resolve_serve_executor,
+    set_default_serve_executor,
+)
 from .report import ServeReport, ShardStats
 from .scheduler import ServeScheduler, ShardTaskTrace
+from .worker import ShardWorkerSpec
 
 __all__ = [
     "BackendFactory",
     "CacheStats",
     "DbShard",
+    "EXECUTOR_ENV_VAR",
+    "ProcessShardExecutor",
+    "SERVE_EXECUTORS",
     "ServeReport",
     "ServeScheduler",
     "ShardStats",
     "ShardTaskTrace",
+    "ShardWorkerSpec",
     "ShardedSearchEngine",
     "VariantCipherCache",
+    "WorkerCrashError",
+    "get_default_serve_executor",
+    "resolve_serve_executor",
+    "set_default_serve_executor",
 ]

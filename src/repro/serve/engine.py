@@ -30,6 +30,15 @@ Concurrency model
   grid; finalize stitches the slices in global polynomial order, so
   decode — including cross-shard runs — stays byte-identical to the
   object path.
+* The shard *executor* is pluggable (see :mod:`repro.serve.executor`):
+  ``"thread"`` runs shard tasks on the worker threads themselves (the
+  parity oracle, GIL-bound for CPU kernels), ``"process"`` dispatches
+  each task to a per-shard worker process attached zero-copy to the
+  shared-memory ciphertext arena, so shard kernels scale across cores.
+  Worker processes warm-start when a database is adopted, re-attach
+  when the arena is rebuilt, and are respawned (task retried once) if
+  they crash; the thread pool, dedup, cache, scheduling and finalize
+  paths are identical either way.
 """
 
 from __future__ import annotations
@@ -63,8 +72,10 @@ from ..core.packing import EncryptedDatabase
 from ..core.pipeline import SearchReport
 from ..core.query import PreparedQuery, variant_cache_key
 from .cache import VariantCipherCache
+from .executor import ProcessShardExecutor, resolve_serve_executor
 from .report import ServeReport, ShardStats
 from .scheduler import ServeScheduler, ShardTaskTrace
+from .worker import ShardWorkerSpec
 
 #: builds the addition backend for one shard: ``factory(ctx, shard_id)``
 BackendFactory = Callable[[BFVContext, int], AdditionBackend]
@@ -147,6 +158,15 @@ class ShardedSearchEngine:
         multiplies (see ``docs/perf.md``).  Shards whose backends do
         their own addition (the simulated in-flash IFP backend) force
         the object path regardless.
+    executor:
+        Shard execution vehicle ("thread" / "process"; None defers to
+        the ``REPRO_SERVE_EXECUTOR`` process default).  "process" runs
+        each shard task in a per-shard worker process holding a
+        zero-copy shared-memory view of the ciphertext arena — the
+        GIL-free path (see ``docs/scaling.md``).  Engines with custom
+        backends the workers can't replicate (anything without
+        ``supports_fused``, e.g. the simulated IFP device) fall back to
+        threads regardless.
     """
 
     def __init__(
@@ -161,6 +181,7 @@ class ShardedSearchEngine:
         scheduler: Optional[ServeScheduler] = None,
         poly_backend: Optional[str] = None,
         search_kernel: Optional[str] = None,
+        executor: Optional[str] = None,
     ):
         if client is None:
             if config is None:
@@ -189,10 +210,16 @@ class ShardedSearchEngine:
         if search_kernel is not None:
             resolve_search_kernel(search_kernel)  # validate eagerly
         self.search_kernel = search_kernel
+        if executor is not None:
+            resolve_serve_executor(executor)  # validate eagerly
+        self.executor = executor
         self.shards: List[DbShard] = []
         self.db: Optional[EncryptedDatabase] = None
         self._comparator: Optional[DeterministicComparator] = None
         self._arena_lock = threading.Lock()
+        self._worker_lock = threading.Lock()
+        self._process_executor: Optional[ProcessShardExecutor] = None
+        self._shared_handle = None
 
     @staticmethod
     def _word_bits(ctx: BFVContext) -> int:
@@ -232,6 +259,23 @@ class ShardedSearchEngine:
                 self.config.deterministic_seed,
                 self.client.chunk_width,
             )
+        # Shard boundaries changed: retire the old worker fleet and warm
+        # start a new one so the first batch doesn't pay the spawns.
+        self._shutdown_workers()
+        if self._executor_active() == "process":
+            self._ensure_workers()
+
+    def close(self) -> None:
+        """Release serving resources (worker processes, shared arena
+        segments).  Idempotent; wired into ``Session.close`` and hence
+        the net server's SIGTERM drain path."""
+        self._shutdown_workers()
+
+    def __enter__(self) -> "ShardedSearchEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- queries ---------------------------------------------------------
 
@@ -250,7 +294,11 @@ class ShardedSearchEngine:
         if self.db is None or not self.shards:
             raise RuntimeError("outsource or adopt a database first")
         fused = self._fused_active()
-        if fused:
+        exec_kind = self._executor_active()
+        workers: Optional[ProcessShardExecutor] = None
+        if exec_kind == "process":
+            workers = self._ensure_workers()
+        elif fused:
             self._ensure_shard_arenas()
 
         # Deduplicate identical queries; duplicates share one job/report.
@@ -269,7 +317,9 @@ class ShardedSearchEngine:
                     key=key,
                     prepared=self.client.prepare_query(bits),
                     num_shards=len(self.shards),
-                    fused=fused,
+                    # process workers always return flag grids, so the
+                    # stitched-flags finalize applies under both kernels
+                    fused=fused or workers is not None,
                 )
                 by_key[key] = job
                 jobs.append(job)
@@ -286,6 +336,7 @@ class ShardedSearchEngine:
         traces: List[ShardTaskTrace] = []
         trace_lock = threading.Lock()
         errors: List[BaseException] = []
+        batch_crashes = [0]
         start = time.perf_counter()
 
         def worker() -> None:
@@ -297,7 +348,15 @@ class ShardedSearchEngine:
                 try:
                     with shard.lock:
                         depth_samples.append(tasks.qsize())
-                        if job.fused:
+                        if workers is not None:
+                            flags_part, hom_adds, crashes = (
+                                self._run_shard_task_process(shard, job, workers)
+                            )
+                            blocks = None
+                            if crashes:
+                                with trace_lock:
+                                    batch_crashes[0] += crashes
+                        elif job.fused:
                             flags_part, hom_adds = self._run_shard_task_fused(
                                 shard, job
                             )
@@ -370,6 +429,12 @@ class ShardedSearchEngine:
                     tasks_executed=shard.tasks_executed,
                     busy_seconds=shard.busy_seconds,
                     modeled_utilization=sim.die_utilization(channel, die),
+                    restarts=(
+                        workers.shard_restarts(shard.shard_id) if workers else 0
+                    ),
+                    alive=(
+                        workers.shard_alive(shard.shard_id) if workers else True
+                    ),
                 )
             )
 
@@ -389,7 +454,135 @@ class ShardedSearchEngine:
             modeled_makespan=sim.makespan,
             modeled_latencies=modeled_latencies,
             encrypted_db_bytes=self.db.serialized_bytes,
+            executor=exec_kind,
+            worker_restarts=batch_crashes[0],
         )
+
+    # -- executor machinery ----------------------------------------------
+
+    def _executor_active(self) -> str:
+        """The executor this batch actually uses.  Custom backends the
+        spawn-fresh workers cannot replicate (anything without
+        ``supports_fused`` — notably the stateful simulated IFP device)
+        silently fall back to threads, mirroring the fused-kernel gate,
+        so a process-wide ``REPRO_SERVE_EXECUTOR=process`` default never
+        changes what those backends compute."""
+        kind = resolve_serve_executor(self.executor)
+        if kind == "process" and not all(
+            getattr(shard.backend, "supports_fused", False)
+            for shard in self.shards
+        ):
+            return "thread"
+        return kind
+
+    @property
+    def executor_kind(self) -> str:
+        """Resolved executor for the current configuration/shards."""
+        return self._executor_active()
+
+    @property
+    def worker_restarts(self) -> int:
+        """Cumulative worker-process restarts over the engine's life."""
+        workers = self._process_executor
+        return workers.restart_count if workers is not None else 0
+
+    @property
+    def degraded_tasks(self) -> int:
+        """Cumulative shard tasks that survived a worker crash (each one
+        completed on a respawned worker — degraded latency, not data)."""
+        workers = self._process_executor
+        return workers.degraded_tasks if workers is not None else 0
+
+    def _worker_specs(self) -> List[ShardWorkerSpec]:
+        det_seed = None
+        pk0 = pk1 = None
+        if self.config.index_mode is IndexMode.SERVER_DETERMINISTIC:
+            det_seed = self.config.deterministic_seed
+            pk0 = np.asarray(self.client.pk.pk0.coeffs)
+            pk1 = np.asarray(self.client.pk.pk1.coeffs)
+        return [
+            ShardWorkerSpec(
+                shard_id=shard.shard_id,
+                start=shard.base_poly,
+                stop=shard.base_poly + shard.num_polynomials,
+                params=self.config.params,
+                poly_backend=self.client.ctx.poly_backend,
+                chunk_width=self.client.chunk_width,
+                sk_coeffs=np.asarray(self.client.sk.s.coeffs),
+                comparator_seed=det_seed,
+                pk0_coeffs=pk0,
+                pk1_coeffs=pk1,
+            )
+            for shard in self.shards
+        ]
+
+    def _ensure_workers(self) -> ProcessShardExecutor:
+        """Spawn (or refresh) the per-shard worker processes against the
+        database arena's shared-memory backing.
+
+        ``share()`` rebinds the parent arena's stack to the shared pages
+        and is idempotent, so the handle only changes when the database
+        rebuilt its arena (``invalidate_caches`` / ``adopt_database``) —
+        exactly when workers must re-attach and parent-side shard slices
+        must be re-cut.
+        """
+        ctx = self.client.ctx
+        arena = self.db.fused_arena(ctx.ring, ctx.params)
+        with self._worker_lock:
+            handle = arena.share()
+            refreshed = handle != self._shared_handle
+            workers = self._process_executor
+            if workers is None:
+                workers = ProcessShardExecutor(self._worker_specs(), handle)
+                self._process_executor = workers
+            elif refreshed:
+                workers.reattach(handle)
+            self._shared_handle = handle
+        # Parent-side slices stay maintained too: they now alias the
+        # same shared pages the workers mapped, and the thread fallback
+        # plus several serve tests read them directly.
+        self._ensure_shard_arenas(force=refreshed)
+        return workers
+
+    def _shutdown_workers(self) -> None:
+        with self._worker_lock:
+            workers, self._process_executor = self._process_executor, None
+            self._shared_handle = None
+        if workers is not None:
+            workers.shutdown()
+
+    def _run_shard_task_process(
+        self, shard: DbShard, job: _QueryJob, workers: ProcessShardExecutor
+    ) -> tuple:
+        """Ship one (query, shard) unit to the shard's worker process.
+
+        Only arena-format arrays cross the pipe: the query stack, the
+        shard-local row map and row residues out; the shard's
+        ``(V, shard_polys, n)`` flag-grid slice back.  Hom-Adds are
+        accounted exactly like the in-process paths.  Returns
+        ``(flags, hom_adds, crashes)``.
+        """
+        t0 = time.perf_counter()
+        query_arena = self._job_query_arena(job)
+        polys = np.arange(
+            shard.base_poly,
+            shard.base_poly + shard.num_polynomials,
+            dtype=np.int64,
+        )
+        row_map = query_arena.row_map(polys)
+        flags, crashes = workers.run_task(
+            shard.shard_id,
+            resolve_search_kernel(self.search_kernel),
+            query_arena.stack,
+            row_map,
+            query_arena.row_residue,
+        )
+        hom_adds = job.prepared.num_variants * shard.num_polynomials
+        self.client.ctx.counter.additions += hom_adds
+        shard.busy_seconds += time.perf_counter() - t0
+        shard.hom_adds += hom_adds
+        shard.tasks_executed += 1
+        return flags, hom_adds, crashes
 
     # -- fused-kernel machinery ------------------------------------------
 
@@ -402,18 +595,19 @@ class ShardedSearchEngine:
             for shard in self.shards
         )
 
-    def _ensure_shard_arenas(self) -> None:
+    def _ensure_shard_arenas(self, force: bool = False) -> None:
         """Build the database arena once and hand every shard its
         zero-copy row slice.  Re-slices whenever the database rebuilt
         its arena (``EncryptedDatabase.invalidate_caches`` after an
-        in-place mutation), so shards never serve stale coefficients."""
+        in-place mutation) — or on ``force``, when ``share()`` rebound
+        the arena's stack — so shards never serve stale coefficients."""
         with self._arena_lock:
             if not self.shards:
                 return
             ctx = self.client.ctx
             arena = self.db.fused_arena(ctx.ring, ctx.params)
             first = self.shards[0].arena
-            if first is not None and first._parent is arena:
+            if not force and first is not None and first._parent is arena:
                 return
             for shard in self.shards:
                 shard.arena = arena.slice(

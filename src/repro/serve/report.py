@@ -31,6 +31,11 @@ class ShardStats:
     busy_seconds: float
     #: fraction of the modeled makespan the shard's die was busy
     modeled_utilization: float
+    #: worker-process restarts for this shard (0 under the thread
+    #: executor, which has no per-shard process to lose)
+    restarts: int = 0
+    #: worker liveness at batch end (always True for threads)
+    alive: bool = True
 
     def wall_utilization(self, wall_seconds: float) -> float:
         return self.busy_seconds / wall_seconds if wall_seconds > 0 else 0.0
@@ -58,6 +63,16 @@ class ServeReport:
     #: population matches :attr:`latencies` duplicate-for-duplicate)
     modeled_latencies: Dict[int, float] = field(default_factory=dict)
     encrypted_db_bytes: int = 0
+    #: shard executor that served the batch ("thread" / "process")
+    executor: str = "thread"
+    #: worker crashes survived during this batch (each one a single-shard
+    #: restart + task retry; the batch still completed)
+    worker_restarts: int = 0
+
+    @property
+    def dead_shards(self) -> int:
+        """Shards whose worker was dead at batch end."""
+        return sum(1 for s in self.shards if not s.alive)
 
     # -- aggregate correctness counters (BatchReport parity) -----------
 
@@ -103,6 +118,8 @@ class ServeReport:
             ("Hom-Adds", self.total_hom_additions),
             ("deduplicated", self.deduplicated_hits),
             ("shards x workers", f"{self.num_shards} x {self.num_workers}"),
+            ("executor", self.executor),
+            ("worker restarts", self.worker_restarts),
             ("encrypted DB", format_bytes(self.encrypted_db_bytes)),
             ("wall time", f"{self.wall_seconds * 1e3:.1f} ms"),
             ("throughput", f"{self.throughput_qps:.1f} q/s"),
@@ -146,10 +163,22 @@ class ServeReport:
                     s.hom_adds,
                     f"{s.wall_utilization(self.wall_seconds) * 100:.0f}%",
                     f"{s.modeled_utilization * 100:.0f}%",
+                    s.restarts,
+                    "up" if s.alive else "DOWN",
                 ]
             )
         return format_table(
             "per-shard utilization",
-            ("shard", "placement", "polys", "tasks", "hom-adds", "wall util", "modeled util"),
+            (
+                "shard",
+                "placement",
+                "polys",
+                "tasks",
+                "hom-adds",
+                "wall util",
+                "modeled util",
+                "restarts",
+                "worker",
+            ),
             rows,
         )

@@ -313,6 +313,9 @@ def test_stats_roundtrip():
         wall_p99=0.101,
         throughput_qps=812.5,
         cache_hit_rate=0.75,
+        executor="process",
+        worker_restarts=2,
+        dead_shard_degradations=1,
         report_text="== serving batch report ==\n...",
     )
     assert codec.decode_stats(codec.encode_stats(stats)) == stats

@@ -27,11 +27,12 @@ def _workload(num_polys=6, num_queries=4, seed=41):
     return params, db, queries
 
 
-def _engine(params, kernel, *, num_shards=3, **kwargs):
+def _engine(params, kernel, *, num_shards=3, executor=None, **kwargs):
     return ShardedSearchEngine(
         ClientConfig(params, key_seed=41, **kwargs),
         num_shards=num_shards,
         search_kernel=kernel,
+        executor=executor,
     )
 
 
@@ -53,8 +54,11 @@ def test_fused_batch_matches_object_batch_and_report_fields():
 
 
 def test_shards_hold_zero_copy_arena_slices():
+    # pinned to the thread executor: the process executor re-shares the
+    # arena into shared memory, where slices view the shm buffer rather
+    # than the parent ndarray
     params, db, queries = _workload()
-    engine = _engine(params, "fused")
+    engine = _engine(params, "fused", executor="thread")
     engine.outsource(db)
     engine.search_batch(queries[:1])
     arena = engine.db.fused_arena(engine.client.ctx.ring, engine.client.ctx.params)
@@ -87,8 +91,10 @@ def test_variant_cache_stores_stacked_rows_under_fused():
 def test_object_kernel_still_caches_ciphertext_objects():
     from repro.he import Ciphertext
 
+    # thread executor only: process workers always take the stacked-row
+    # cache path, since query rows cross the pipe as arrays
     params, db, queries = _workload()
-    engine = _engine(params, "object")
+    engine = _engine(params, "object", executor="thread")
     engine.outsource(db)
     engine.search_batch(queries[:1])
     values = list(engine.cache._entries.values())
@@ -179,8 +185,10 @@ def test_invalidate_caches_reslices_shard_arenas():
 
 
 def test_adopt_database_resets_arena_slices():
+    # thread executor: the process executor warm-starts workers at adopt
+    # time, which eagerly re-slices the shard arenas
     params, db, queries = _workload(num_polys=4)
-    engine = _engine(params, "fused")
+    engine = _engine(params, "fused", executor="thread")
     engine.outsource(db)
     engine.search_batch(queries[:1])
     old_arenas = [s.arena for s in engine.shards]

@@ -1,9 +1,10 @@
-"""ServeReport rendering robustness + scheduler shed accounting."""
+"""ServeReport rendering robustness, executor/worker-health surfacing,
+and scheduler shed accounting."""
 
 import numpy as np
 
 from repro.serve.cache import CacheStats
-from repro.serve.report import ServeReport
+from repro.serve.report import ServeReport, ShardStats
 from repro.serve.scheduler import ServeScheduler
 from repro.utils.stats import percentile
 
@@ -41,6 +42,55 @@ class TestEmptyLatencySample:
         report = _empty_report()
         assert report.throughput_qps == 0.0
         assert report.modeled_throughput_qps == 0.0
+
+
+def _shard(shard_id, *, restarts=0, alive=True) -> ShardStats:
+    return ShardStats(
+        shard_id=shard_id,
+        channel=0,
+        die=shard_id,
+        num_polynomials=4,
+        hom_adds=64,
+        tasks_executed=2,
+        busy_seconds=0.01,
+        modeled_utilization=0.5,
+        restarts=restarts,
+        alive=alive,
+    )
+
+
+class TestWorkerHealthSurfacing:
+    def test_defaults_are_thread_executor_and_healthy(self):
+        report = _empty_report()
+        assert report.executor == "thread"
+        assert report.worker_restarts == 0
+        assert report.dead_shards == 0
+        stats = _shard(0)
+        assert stats.restarts == 0 and stats.alive
+
+    def test_summary_table_shows_executor_and_restarts(self):
+        report = _empty_report()
+        report.executor = "process"
+        report.worker_restarts = 3
+        table = report.summary_table()
+        assert "executor" in table and "process" in table
+        assert "worker restarts" in table
+
+    def test_shard_table_shows_restarts_and_liveness(self):
+        report = _empty_report()
+        report.shards = [_shard(0), _shard(1, restarts=2, alive=False)]
+        table = report.shard_table()
+        assert "restarts" in table and "worker" in table
+        assert "DOWN" in table and "up" in table
+
+    def test_dead_shards_counts_down_workers(self):
+        report = _empty_report()
+        report.shards = [
+            _shard(0),
+            _shard(1, alive=False),
+            _shard(2, restarts=1, alive=False),
+        ]
+        assert report.dead_shards == 2
 
 
 class TestPercentileHelper:
