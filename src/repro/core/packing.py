@@ -69,8 +69,17 @@ class EncryptedDatabase:
     def __setattr__(self, name: str, value) -> None:
         if name == "ciphertexts":
             object.__setattr__(self, "_serialized_bytes", None)
-            object.__setattr__(self, "_arena", None)
+            self._drop_arena()
         object.__setattr__(self, name, value)
+
+    def _drop_arena(self) -> None:
+        """Drop the cached arena, eagerly unlinking any OS-shared
+        backing it published — re-sharing after an invalidate must not
+        leave the previous ``/dev/shm`` segments linked until GC."""
+        arena = getattr(self, "_arena", None)
+        if arena is not None:
+            arena.release_shared()
+        object.__setattr__(self, "_arena", None)
 
     @property
     def num_polynomials(self) -> int:
@@ -93,17 +102,22 @@ class EncryptedDatabase:
     def invalidate_caches(self) -> None:
         """Drop derived caches after in-place ciphertext mutation."""
         self._serialized_bytes = None
-        self._arena = None
+        self._drop_arena()
 
     def fused_arena(self, ring, params) -> "CiphertextArena":
         """The database's :class:`~repro.he.arena.CiphertextArena` —
         the stacked ``(num_polys, 2, n)`` storage the fused search
-        kernels broadcast over.  Built once (at first fused search
-        after outsourcing) and cached on the database."""
+        kernels broadcast over.  Created lazily: construction validates
+        and allocates, but rows/limbs/phases materialize per build tile
+        on first touch (so outsourcing pays nothing up front and each
+        serving shard builds only its own rows).  Cached on the
+        database; call ``arena.ensure_built()`` for the old eager
+        behavior."""
         arena = self._arena
         if arena is None or arena.ring != ring:
+            self._drop_arena()
             arena = CiphertextArena.from_ciphertexts(
-                ring, params, self.ciphertexts
+                ring, params, self.ciphertexts, lazy=True
             )
             self._arena = arena
         return arena

@@ -8,7 +8,9 @@ from .arena import (
     decrypt_batch,
     flags_batch,
     get_default_search_kernel,
+    resolve_arena_build,
     resolve_search_kernel,
+    resolve_tile_bytes,
     set_default_search_kernel,
 )
 from .backend import (
@@ -87,7 +89,9 @@ __all__ = [
     "generate_keys",
     "get_default_backend",
     "get_default_search_kernel",
+    "resolve_arena_build",
     "resolve_search_kernel",
+    "resolve_tile_bytes",
     "serialize_ciphertext",
     "serialize_plaintext",
     "serialize_public_key",

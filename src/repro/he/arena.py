@@ -109,6 +109,72 @@ def resolve_search_kernel(spec: str | None) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Tile / build plumbing
+# ---------------------------------------------------------------------------
+
+#: environment override (bytes) for the broadcast-add tile budget.
+TILE_ENV_VAR = "REPRO_ARENA_TILE_BYTES"
+
+#: default per-tile output budget for the tiled broadcast add: large
+#: enough that the numpy dispatch overhead is negligible (hundreds of
+#: rows per tile at realistic n), small enough that one output tile plus
+#: its database tile stay resident in a last-level cache instead of
+#: streaming the whole (P, V, 2, n) product through DRAM twice.
+_DEFAULT_TILE_BYTES = 1 << 25
+
+#: rows per lazy-build tile: the granularity at which the stack, the
+#: RNS-limb view and the phase view materialize on first touch.  At the
+#: paper's n=4096 one tile is 16 rows x 64 KiB = 1 MiB of ciphertext.
+_BUILD_TILE_ROWS = 16
+
+#: arena build strategies: ``lazy`` defers stack/limb/phase
+#: materialization to first touch (per build tile, per shard); ``eager``
+#: reproduces the old build-everything-at-outsourcing behavior.
+ARENA_BUILD_MODES = ("lazy", "eager")
+
+#: environment override consulted when no explicit choice was made.
+ARENA_BUILD_ENV_VAR = "REPRO_ARENA_BUILD"
+
+
+def resolve_tile_bytes(spec: "int | None" = None) -> int:
+    """Tile byte budget: explicit argument, else ``REPRO_ARENA_TILE_BYTES``,
+    else the built-in default."""
+    if spec is None:
+        env = os.environ.get(TILE_ENV_VAR)
+        spec = int(env) if env else _DEFAULT_TILE_BYTES
+    spec = int(spec)
+    if spec <= 0:
+        raise ValueError(f"tile byte budget must be positive, got {spec}")
+    return spec
+
+
+def resolve_arena_build(spec: str | None) -> str:
+    """Arena build mode: explicit argument, else ``REPRO_ARENA_BUILD``,
+    else ``"lazy"``."""
+    if spec is None:
+        spec = os.environ.get(ARENA_BUILD_ENV_VAR) or "lazy"
+    if spec not in ARENA_BUILD_MODES:
+        raise ValueError(
+            f"unknown arena build mode {spec!r}; "
+            f"available: {sorted(ARENA_BUILD_MODES)}"
+        )
+    return spec
+
+
+def _tile_shape(
+    num_polys: int, num_variants: int, n: int, tile_bytes: int
+) -> Tuple[int, int]:
+    """``(poly_tile, variant_tile)`` for the tiled broadcast add: one
+    output tile (``variant_tile * poly_tile`` size-2 rows of int64)
+    fits the byte budget.  The variant axis is kept short so the
+    database tile it broadcasts against is reused from cache."""
+    row_bytes = 2 * n * np.dtype(np.int64).itemsize
+    variant_tile = max(1, min(num_variants, 4))
+    poly_tile = max(1, tile_bytes // (variant_tile * row_bytes))
+    return min(poly_tile, max(1, num_polys)), variant_tile
+
+
+# ---------------------------------------------------------------------------
 # Shared modular kernels
 # ---------------------------------------------------------------------------
 
@@ -182,6 +248,8 @@ class CiphertextArena:
         stack: np.ndarray,
         base_index: int = 0,
         _parent: "CiphertextArena | None" = None,
+        _source: "Sequence[Ciphertext] | None" = None,
+        build_tile: int = _BUILD_TILE_ROWS,
     ):
         if stack.ndim != 3 or stack.shape[1] != 2 or stack.shape[2] != ring.n:
             raise ValueError(
@@ -192,11 +260,31 @@ class CiphertextArena:
         self.stack = stack
         self.base_index = base_index
         self._parent = _parent
-        self._lock = threading.Lock()
-        #: cached (sk, phases) pair for client-side batch decryption
-        self._phase_cache: Tuple[object, np.ndarray] | None = None
-        #: cached RNS-limb view of the c1 rows (vectorized backend)
+        # Reentrant: the phase builder calls back into the limb and
+        # stack builders for the same row range under one lock.
+        self._lock = threading.RLock()
+        #: rows per lazily-built tile of the stack/limb/phase views
+        self._build_tile = max(1, int(build_tile))
+        #: pending ciphertext list (lazy build); None once materialized
+        self._source: "List[Ciphertext] | None" = (
+            list(_source) if _source is not None else None
+        )
+        self._built: np.ndarray | None = (
+            np.zeros(self._num_tiles, dtype=bool)
+            if self._source is not None
+            else None
+        )
+        #: secret key the phase view was computed against
+        self._phase_sk: object | None = None
+        #: (num_polys, n) phase rows, built per tile on first touch
+        self._phase_rows: np.ndarray | None = None
+        self._phase_built: np.ndarray | None = None
+        #: cached limb-major (k, num_polys, n) RNS view of the c1 rows
+        #: (vectorized backend); built per tile on first touch.  A
+        #: ``None`` built-mask with a non-None array means "externally
+        #: provided, fully built" (shared-memory attach).
         self._c1_limbs: np.ndarray | None = None
+        self._limbs_built: np.ndarray | None = None
         #: OS-shared backing blocks (kept alive for the arena's lifetime)
         self._blocks: List["_SharedBlock"] | None = None
         #: handle returned by :meth:`share` (root arenas only)
@@ -211,16 +299,90 @@ class CiphertextArena:
         params: "BFVParams",
         ciphertexts: Sequence[Ciphertext],
         base_index: int = 0,
+        *,
+        lazy: bool = False,
+        build_tile: int = _BUILD_TILE_ROWS,
     ) -> "CiphertextArena":
-        """Stack a list of size-2 ciphertexts (one copy, at build time)."""
+        """Stack a list of size-2 ciphertexts.
+
+        Eager (default): one copy, at build time.  ``lazy=True`` defers
+        the copy: the stack allocates (virtual pages only) and rows
+        materialize per :attr:`build tile <_build_tile>` the first time
+        a kernel touches them — so outsourcing a database costs nothing
+        up front and a shard's first query builds only that shard's
+        rows.  Shape validation stays eager either way.
+        """
         n = ring.n
-        stack = np.empty((len(ciphertexts), 2, n), dtype=np.int64)
-        for j, ct in enumerate(ciphertexts):
+        for ct in ciphertexts:
             if ct.size != 2:
                 raise ValueError("arena requires size-2 ciphertexts")
+        stack = np.empty((len(ciphertexts), 2, n), dtype=np.int64)
+        if lazy:
+            return cls(
+                ring, params, stack, base_index,
+                _source=ciphertexts, build_tile=build_tile,
+            )
+        for j, ct in enumerate(ciphertexts):
             stack[j, 0] = ct.c0.coeffs
             stack[j, 1] = ct.c1.coeffs
-        return cls(ring, params, stack, base_index)
+        return cls(ring, params, stack, base_index, build_tile=build_tile)
+
+    # -- lazy build --------------------------------------------------------
+
+    @property
+    def _num_tiles(self) -> int:
+        return -(-self.stack.shape[0] // self._build_tile) if self.stack.shape[0] else 0
+
+    def _tiles_over(self, lo: int, hi: int) -> range:
+        """Build-tile indices covering rows ``[lo, hi)``."""
+        tile = self._build_tile
+        return range(lo // tile, (hi - 1) // tile + 1) if hi > lo else range(0)
+
+    def _ensure_rows(self, lo: int, hi: int) -> None:
+        """Materialize stack rows ``[lo, hi)`` (local indices) from the
+        pending ciphertext list; no-op once built or for eager arenas.
+        Slices delegate to the root, so one shard's touch never builds
+        another shard's rows."""
+        parent = self._parent
+        if parent is not None:
+            off = self.base_index - parent.base_index
+            parent._ensure_rows(off + lo, off + hi)
+            return
+        if self._source is None or hi <= lo:
+            return
+        with self._lock:
+            source = self._source
+            if source is None:
+                return
+            built = self._built
+            tile = self._build_tile
+            for t in self._tiles_over(lo, hi):
+                if built[t]:
+                    continue
+                for j in range(t * tile, min((t + 1) * tile, self.num_polys)):
+                    ct = source[j]
+                    self.stack[j, 0] = ct.c0.coeffs
+                    self.stack[j, 1] = ct.c1.coeffs
+                built[t] = True
+            if built.all():
+                self._source = None
+
+    def ensure_built(self) -> None:
+        """Force this arena's full row range to materialize (for slices:
+        just their rows, through the root)."""
+        self._ensure_rows(0, self.num_polys)
+
+    @property
+    def fully_built(self) -> bool:
+        """True once every row of this arena's range is materialized."""
+        parent = self._parent
+        if parent is not None:
+            off = self.base_index - parent.base_index
+            if parent._source is None:
+                return True
+            built = parent._built
+            return all(built[t] for t in parent._tiles_over(off, off + self.num_polys))
+        return self._source is None
 
     # -- views -------------------------------------------------------------
 
@@ -234,12 +396,16 @@ class CiphertextArena:
 
     @property
     def c0(self) -> np.ndarray:
-        """``(num_polys, n)`` view of the c0 rows (no copy)."""
+        """``(num_polys, n)`` view of the c0 rows (no copy; forces a
+        lazy arena's rows to materialize)."""
+        self._ensure_rows(0, self.num_polys)
         return self.stack[:, 0]
 
     @property
     def c1(self) -> np.ndarray:
-        """``(num_polys, n)`` view of the c1 rows (no copy)."""
+        """``(num_polys, n)`` view of the c1 rows (no copy; forces a
+        lazy arena's rows to materialize)."""
+        self._ensure_rows(0, self.num_polys)
         return self.stack[:, 1]
 
     def slice(self, start: int, stop: int) -> "CiphertextArena":
@@ -257,6 +423,7 @@ class CiphertextArena:
     def ciphertext(self, j: int) -> Ciphertext:
         """Materialize row ``j`` back into a ciphertext object (copies,
         so callers can't corrupt the arena)."""
+        self._ensure_rows(j, j + 1)
         return Ciphertext(
             self.params,
             RingPoly(self.ring, self.stack[j, 0].copy()),
@@ -265,49 +432,120 @@ class CiphertextArena:
 
     # -- fused kernels -----------------------------------------------------
 
-    def hom_add_broadcast(self, query: np.ndarray) -> np.ndarray:
+    def hom_add_broadcast(
+        self,
+        query: np.ndarray,
+        *,
+        out: "np.ndarray | None" = None,
+        tile_bytes: "int | None" = None,
+    ) -> np.ndarray:
         """Hom-Add one query ciphertext — or a ``(V, 2, n)`` stack of
-        them — against *every* arena row in one broadcast kernel.
+        them — against *every* arena row.
 
         Returns ``(num_polys, 2, n)`` for a single query row and
-        ``(V, num_polys, 2, n)`` for a stack: the entire db x variant
-        product with zero per-pair allocations beyond the result."""
+        ``(V, num_polys, 2, n)`` for a stack.  The product streams
+        through cache-sized ``(poly_tile x variant_tile)`` blocks with
+        an in-place modular fold per tile — one pass over DRAM for the
+        output instead of two (add, then re-read to fold) — so the
+        kernel stays fast where the one-shot broadcast was
+        bandwidth-bound.  ``out`` recycles a result buffer across calls
+        (the steady-state serving shape); ``tile_bytes`` overrides the
+        per-tile output budget (else ``REPRO_ARENA_TILE_BYTES``, else
+        the built-in default).
+        """
         query = np.asarray(query)
-        if query.ndim == 2:
-            return add_mod_q(self.stack, query[None, :, :], self.params.q)
-        return add_mod_q(
-            self.stack[None, :, :, :], query[:, None, :, :], self.params.q
+        single = query.ndim == 2
+        q_stack = query[None] if single else query
+        q = self.params.q
+        num_variants = q_stack.shape[0]
+        num_polys, n = self.num_polys, self.n
+        if out is not None:
+            out = np.asarray(out)
+            expected = (
+                (num_polys, 2, n) if single else (num_variants, num_polys, 2, n)
+            )
+            if out.shape != expected or out.dtype != np.int64:
+                raise ValueError(
+                    f"out must be int64 of shape {expected}, "
+                    f"got {out.dtype} {out.shape}"
+                )
+            full = out[None] if single else out
+        else:
+            full = np.empty((num_variants, num_polys, 2, n), dtype=np.int64)
+        poly_tile, variant_tile = _tile_shape(
+            num_polys, num_variants, n, resolve_tile_bytes(tile_bytes)
         )
+        pow2 = q & (q - 1) == 0
+        for p0 in range(0, num_polys, poly_tile):
+            p1 = min(p0 + poly_tile, num_polys)
+            self._ensure_rows(p0, p1)
+            db_tile = self.stack[p0:p1]
+            for v0 in range(0, num_variants, variant_tile):
+                v1 = min(v0 + variant_tile, num_variants)
+                block = full[v0:v1, p0:p1]
+                np.add(db_tile[None], q_stack[v0:v1, None], out=block)
+                if pow2:
+                    np.bitwise_and(block, q - 1, out=block)
+                else:
+                    np.subtract(block, q, out=block, where=block >= q)
+        if single:
+            return out if out is not None else full[0]
+        return full
 
     def c1_limbs(self) -> Optional[np.ndarray]:
-        """Cached ``(num_polys, k, n)`` RNS-limb forward transforms of
-        the c1 rows (vectorized backend only; ``None`` elsewhere).
+        """Cached **limb-major** ``(k, num_polys, n)`` RNS forward
+        transforms of the c1 rows (vectorized backend only; ``None``
+        elsewhere).
 
         This is the arena's transform-domain view: batch decryption
         multiplies these limbs pointwise against the secret key's
         cached transform, so the database transforms once per process.
+        Limb-major order matches what the stacked inverse NTT and the
+        CRT recombination consume, so the decrypt pipeline reads the
+        cache contiguously with no transpose.
         """
+        return self._c1_limbs_range(0, self.num_polys)
+
+    def _c1_limbs_range(self, lo: int, hi: int) -> Optional[np.ndarray]:
+        """Limb view of rows ``[lo, hi)`` — ``(k, hi - lo, n)`` —
+        building only the touched tiles.  Slices resolve through the
+        root so one shard's first query transforms that shard only."""
         parent = self._parent
         if parent is not None:
-            limbs = parent.c1_limbs()
-            if limbs is None:
-                return None
-            lo = self.base_index - parent.base_index
-            return limbs[lo : lo + self.num_polys]
+            off = self.base_index - parent.base_index
+            return parent._c1_limbs_range(off + lo, off + hi)
         backend = self.ring.backend
         if not isinstance(backend, VectorizedBackend):
             return None
+        basis = backend.basis
         with self._lock:
-            if self._c1_limbs is None:
-                basis = backend.basis
-                rows = self.c1
-                lifted = (
-                    center_rows(rows, self.params.q)
-                    if basis.center_needed
-                    else rows
+            limbs = self._c1_limbs
+            if limbs is None:
+                limbs = np.empty(
+                    (len(basis.primes), self.num_polys, self.n), dtype=np.int64
                 )
-                self._c1_limbs = basis.forward_batch(lifted)
-            return self._c1_limbs
+                self._c1_limbs = limbs
+                self._limbs_built = np.zeros(self._num_tiles, dtype=bool)
+            built = self._limbs_built
+            if built is not None:
+                q = self.params.q
+                tile = self._build_tile
+                for t in self._tiles_over(lo, hi):
+                    if built[t]:
+                        continue
+                    r0, r1 = t * tile, min((t + 1) * tile, self.num_polys)
+                    self._ensure_rows(r0, r1)
+                    rows = self.stack[r0:r1, 1]
+                    lifted = (
+                        center_rows(rows, q) if basis.center_needed else rows
+                    )
+                    limbs[:, r0:r1] = basis.forward_batch(
+                        lifted, limb_major=True
+                    )
+                    built[t] = True
+                if built.all():
+                    self._limbs_built = None
+            return limbs[:, lo:hi]
 
     def phases(self, sk: "SecretKey") -> np.ndarray:
         """``(num_polys, n)`` decryption phases ``c0 + c1 * s mod q``
@@ -318,37 +556,54 @@ class CiphertextArena:
         lets :func:`fused_decrypt_flags` decrypt the whole db x variant
         grid with broadcast adds instead of per-block multiplies.
         """
+        return self._phases_range(sk, 0, self.num_polys)
+
+    def _phases_range(self, sk: "SecretKey", lo: int, hi: int) -> np.ndarray:
+        """Phase rows ``[lo, hi)``, building only the touched tiles (so
+        a shard slice never pays for the whole database).  A full-range
+        call on a fully-built root returns the cached array itself."""
         parent = self._parent
         if parent is not None:
-            lo = self.base_index - parent.base_index
-            return parent.phases(sk)[lo : lo + self.num_polys]
+            off = self.base_index - parent.base_index
+            return parent._phases_range(sk, off + lo, off + hi)
         with self._lock:
-            cached = self._phase_cache
-            if cached is not None and cached[0] is sk:
-                return cached[1]
-            q = self.params.q
-            backend = self.ring.backend
-            limbs = None
-            if isinstance(backend, VectorizedBackend):
-                basis = backend.basis
-                limbs = self._c1_limbs
-                if limbs is None:
-                    lifted = (
-                        center_rows(self.c1, q)
-                        if basis.center_needed
-                        else self.c1
+            if self._phase_rows is None or self._phase_sk is not sk:
+                self._phase_rows = np.empty(
+                    (self.num_polys, self.n), dtype=np.int64
+                )
+                self._phase_built = np.zeros(self._num_tiles, dtype=bool)
+                self._phase_sk = sk
+            built = self._phase_built
+            if built is not None:
+                q = self.params.q
+                backend = self.ring.backend
+                vectorized = isinstance(backend, VectorizedBackend)
+                tile = self._build_tile
+                for t in self._tiles_over(lo, hi):
+                    if built[t]:
+                        continue
+                    r0, r1 = t * tile, min((t + 1) * tile, self.num_polys)
+                    self._ensure_rows(r0, r1)
+                    if vectorized:
+                        basis = backend.basis
+                        limbs = self._c1_limbs_range(r0, r1)
+                        c1_s = basis.mul_transformed_rows(
+                            limbs, backend._forward_cached(sk.s)
+                        )
+                    else:
+                        c1_s = mul_rows_by_poly(
+                            self.ring, self.stack[r0:r1, 1], sk.s
+                        )
+                    self._phase_rows[r0:r1] = add_mod_q(
+                        self.stack[r0:r1, 0], c1_s, q
                     )
-                    limbs = basis.forward_batch(lifted)
-                    self._c1_limbs = limbs
-                f_s = backend._forward_cached(sk.s)
-                prod = limbs * f_s % basis._stacked.p
-                inv = basis._stacked.inverse_reduced(prod)
-                c1_s = basis.combine_mod_q(np.moveaxis(inv, 1, 0))
-            else:
-                c1_s = mul_rows_by_poly(self.ring, self.c1, sk.s)
-            phases = add_mod_q(self.c0, c1_s, q)
-            self._phase_cache = (sk, phases)
-            return phases
+                    built[t] = True
+                if built.all():
+                    self._phase_built = None
+            rows = self._phase_rows
+            if lo == 0 and hi == self.num_polys:
+                return rows
+            return rows[lo:hi]
 
     # -- OS-shared backing (process-parallel serving shards) ---------------
 
@@ -368,11 +623,21 @@ class CiphertextArena:
         """
         if self._parent is not None:
             raise ValueError("share() applies to root arenas; share the parent")
-        # c1_limbs() takes self._lock — compute before acquiring it here.
-        limbs = self.c1_limbs()
         with self._lock:
             if self._shared_handle is not None:
                 return self._shared_handle
+            # Stack rows must exist before they are copied into the
+            # shared pages (a cheap memcpy even for a lazy arena) —
+            # otherwise a pre-existing slice view would keep aliasing
+            # the old, never-built private pages.
+            self._ensure_rows(0, self.num_polys)
+            # The expensive limb view is shared only if it already
+            # exists in full; otherwise workers build their shard's
+            # limbs lazily (deterministic, so parity is unaffected)
+            # and outsourcing stays cheap.
+            limbs = (
+                self._c1_limbs if self._limbs_built is None else None
+            )
             stack_block = _create_block(self.stack.shape, backing)
             np.copyto(stack_block.array, self.stack)
             self.stack = stack_block.array
@@ -394,6 +659,29 @@ class CiphertextArena:
                 limbs_shape=limbs_shape,
             )
             return self._shared_handle
+
+    def release_shared(self) -> None:
+        """Eagerly unlink this arena's OS-shared backing blocks.
+
+        Without this, a re-``share()`` after ``invalidate_caches()`` /
+        re-adopt leaves the previous ``/dev/shm`` segments (or memmap
+        files) linked until garbage collection gets around to the old
+        arena — a real leak under repeated adoption.  Existing local
+        views keep working (the pages stay mapped until unmapped; only
+        the *name* disappears), but no new process can attach and the
+        kernel reclaims the memory once the last mapping drops.
+        Attached (non-owning) arenas only close their mapping lazily
+        via GC as before; this is a no-op for them and for arenas that
+        never shared.
+        """
+        with self._lock:
+            blocks = self._blocks or ()
+            owned = [b for b in blocks if getattr(b, "_finalizer", None)]
+            kept = [b for b in blocks if not getattr(b, "_finalizer", None)]
+            self._blocks = kept or None
+            self._shared_handle = None
+        for block in owned:
+            block._finalizer()
 
     @classmethod
     def attach_shared(
@@ -424,7 +712,11 @@ class CiphertextArena:
             limbs_block = _attach_block(
                 handle.kind, handle.limbs_ref, handle.limbs_shape
             )
-            arena._c1_limbs = limbs_block.array[start:stop]
+            # Limb-major (k, num_polys, n): the shard slices its row
+            # range on the middle axis; a None built-mask marks the
+            # view externally provided and fully built.
+            arena._c1_limbs = limbs_block.array[:, start:stop]
+            arena._limbs_built = None
             arena._blocks.append(limbs_block)
         return arena
 

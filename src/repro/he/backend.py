@@ -157,45 +157,74 @@ class _StackedNtt:
             np.stack(stage)[:, None, :]
             for stage in zip(*[plan._stage_itwiddles for plan in plans])
         ]
+        # limb-major ((k, m, n)) variants of the broadcast tables: the
+        # limb axis leads and the batch axis rides in the middle, so
+        # every table gains one broadcast axis after the limb axis.
+        # All of these are views — no table is duplicated.
+        self._p4 = self.p[:, :, None, None]
+        self._psi_lm = self._psi[:, None, :]
+        self._ipsi_lm = self._ipsi[:, None, :]
+        self._n_inv_lm = self._n_inv[:, :, None]
+        self._tw_lm = [w[:, None] for w in self._tw]
+        self._itw_lm = [w[:, None] for w in self._itw]
 
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
         """(n,) signed coefficients -> (k, n) limb transforms."""
         a = (coeffs[None, :] % self.p) * self._psi % self.p
-        return self._transform(a, self._tw)
+        return self._transform(a, self._tw, self._p3)
 
     def forward_batch(self, coeffs: np.ndarray) -> np.ndarray:
         """(m, n) signed coefficient rows -> (m, k, n) limb transforms,
         all rows and limbs through each butterfly stage at once."""
         a = (coeffs[:, None, :] % self.p) * self._psi % self.p
-        return self._transform(a, self._tw)
+        return self._transform(a, self._tw, self._p3)
+
+    def forward_batch_limbmajor(self, coeffs: np.ndarray) -> np.ndarray:
+        """(m, n) signed coefficient rows -> (k, m, n) limb transforms.
+
+        Limb-major output: each limb's residue matrix is one contiguous
+        (m, n) slab, so the pointwise secret-key product and the Garner
+        fold (both indexed per limb) read sequential memory instead of
+        striding across the batch axis."""
+        a = (coeffs[None, :, :] % self._p3) * self._psi_lm % self._p3
+        return self._transform(a, self._tw_lm, self._p4)
 
     def forward_pair(self, a: np.ndarray, b: np.ndarray):
         return self.forward(a), self.forward(b)
 
     def inverse(self, values: np.ndarray) -> np.ndarray:
-        a = self._transform(values % self.p, self._itw)
+        a = self._transform(values % self.p, self._itw, self._p3)
         a = a * self._n_inv % self.p
         return a * self._ipsi % self.p
 
     inverse_reduced = inverse
 
-    def _transform(self, a: np.ndarray, twiddles: list) -> np.ndarray:
+    def inverse_limbmajor(self, values: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`forward_batch_limbmajor`: (k, m, n) in,
+        (k, m, n) out."""
+        a = self._transform(values % self._p3, self._itw_lm, self._p4)
+        a = a * self._n_inv_lm % self._p3
+        return a * self._ipsi_lm % self._p3
+
+    inverse_reduced_limbmajor = inverse_limbmajor
+
+    def _transform(self, a: np.ndarray, twiddles: list, p_block) -> np.ndarray:
         # Invariant: every value stays in [0, p) per row, so the
         # butterfly sums/differences need one conditional fix-up, not a
         # division.  Twiddle products (< 2**60) fit int64.  Shapes are
-        # ``(..., k, n)``: the per-limb tables broadcast across any
-        # leading batch dimension.
-        p3 = self._p3
+        # ``(..., k, n)`` with ``p_block = (k, 1, 1)`` tables, or the
+        # limb-major ``(k, m, n)`` with ``(k, 1, 1, 1)`` tables — either
+        # way the per-limb tables broadcast across the batch dimension.
         a = a[..., self._bitrev].copy()
         length = 1
         for w in twiddles:
             blocks = a.reshape(a.shape[:-1] + (-1, 2 * length))
             lo = blocks[..., :length].copy()
-            hi = blocks[..., length:] * w % p3
+            hi = blocks[..., length:] * w % p_block
             total = lo + hi
-            blocks[..., :length] = np.where(total >= p3, total - p3, total)
+            blocks[..., :length] = np.where(total >= p_block, total - p_block, total)
             diff = lo - hi
-            blocks[..., length:] = np.where(diff < 0, diff + p3, diff)
+            blocks[..., length:] = np.where(diff < 0, diff + p_block, diff)
             length *= 2
         return a
 
@@ -235,6 +264,7 @@ class _FourStepNtt:
         self.n = n = plans[0].n
         self.p = np.array([plan.p for plan in plans], dtype=np.int64)[:, None]
         self._p3 = self.p[:, :, None]
+        self._p4 = self.p[:, :, None, None]
         self.R = 1 << (n.bit_length() - 1) // 2
         self.C = n // self.R
         assert max(self.R, self.C) <= 128, "four-step needs R, C <= 128"
@@ -320,6 +350,20 @@ class _FourStepNtt:
         acc += np.matmul((x & self._MASK).astype(np.float64), lo)
         return acc.astype(np.int64) % self._p3
 
+    def _mm_left_lm(self, w, x: np.ndarray) -> np.ndarray:
+        """Limb-major ``W @ x mod p``: x is (k, m, R, C), the per-limb
+        matrices broadcast over the batch axis."""
+        lo, hi = w
+        acc = np.matmul(hi[:, None], (x >> self._SPLIT).astype(np.float64))
+        acc += np.matmul(lo[:, None], (x & self._MASK).astype(np.float64))
+        return acc.astype(np.int64) % self._p4
+
+    def _mm_right_lm(self, x: np.ndarray, w) -> np.ndarray:
+        lo, hi = w
+        acc = np.matmul((x >> self._SPLIT).astype(np.float64), hi[:, None])
+        acc += np.matmul((x & self._MASK).astype(np.float64), lo[:, None])
+        return acc.astype(np.int64) % self._p4
+
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
         """(n,) signed coefficients -> (k, n) digit-permuted transforms."""
         a = (coeffs[None, :] % self.p).reshape(-1, self.R, self.C)
@@ -339,6 +383,17 @@ class _FourStepNtt:
         y = y * self._tw % self._p3
         z = self._mm_right(y, self._wc)
         return z.reshape(m, -1, self.n)
+
+    def forward_batch_limbmajor(self, coeffs: np.ndarray) -> np.ndarray:
+        """(m, n) signed coefficient rows -> (k, m, n) transforms, with
+        the limb axis leading so each limb's transforms land in one
+        contiguous slab (the arena's decrypt-side layout)."""
+        m = coeffs.shape[0]
+        a = (coeffs[None, :, :] % self._p3).reshape(-1, m, self.R, self.C)
+        y = self._mm_left_lm(self._wr, a)
+        y = y * self._tw[:, None] % self._p4
+        z = self._mm_right_lm(y, self._wc)
+        return z.reshape(-1, m, self.n)
 
     def forward_pair(self, a: np.ndarray, b: np.ndarray):
         """Both operands of a product through one batched matmul chain
@@ -381,6 +436,16 @@ class _FourStepNtt:
         y = self._mm_right(z, self._wc_inv)
         y = y * self._tw_inv % self._p3
         a = self._mm_left(self._wr_inv, y)
+        return a.reshape(values.shape)
+
+    def inverse_reduced_limbmajor(self, values: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`forward_batch_limbmajor`: reduced (k, m, n)
+        in, (k, m, n) out."""
+        k, m = values.shape[0], values.shape[1]
+        z = values.reshape(k, m, self.R, self.C)
+        y = self._mm_right_lm(z, self._wc_inv)
+        y = y * self._tw_inv[:, None] % self._p4
+        a = self._mm_left_lm(self._wr_inv, y)
         return a.reshape(values.shape)
 
 
@@ -496,11 +561,25 @@ class RnsBasis:
         all limbs at once: ``(n,) -> (k, n)``."""
         return self._stacked.forward(coeffs)
 
-    def forward_batch(self, rows: np.ndarray) -> np.ndarray:
-        """Forward NTT of ``m`` coefficient rows in one stacked pass:
-        ``(m, n) -> (m, k, n)`` — the arena's RNS-limb view."""
+    def forward_batch(
+        self, rows: np.ndarray, limb_major: bool = False
+    ) -> np.ndarray:
+        """Forward NTT of ``m`` coefficient rows in one stacked pass.
+
+        Batch-major (default): ``(m, n) -> (m, k, n)``.  Limb-major:
+        ``(m, n) -> (k, m, n)`` — the arena's RNS-limb view, stored with
+        the limb axis leading so the pointwise products and the Garner
+        recombination (both per-limb loops) read contiguous slabs.
+        """
         if rows.shape[0] == 0:
-            return np.empty((0, len(self.primes), self.n), dtype=np.int64)
+            shape = (
+                (len(self.primes), 0, self.n)
+                if limb_major
+                else (0, len(self.primes), self.n)
+            )
+            return np.empty(shape, dtype=np.int64)
+        if limb_major:
+            return self._stacked.forward_batch_limbmajor(rows)
         return self._stacked.forward_batch(rows)
 
     def forward_pair(self, a: np.ndarray, b: np.ndarray):
@@ -585,13 +664,29 @@ class RnsBasis:
         rows) and the batched deterministic comparator (``pk0 * u``).
 
         One stacked forward pass, one broadcast pointwise product, one
-        stacked inverse, one batched Garner recombination.
+        stacked inverse, one batched Garner recombination.  Runs
+        limb-major end-to-end: the inverse hands :meth:`combine_mod_q`
+        its ``(k, m, n)`` residues directly, with no strided
+        ``moveaxis`` view between the NTT and the Garner fold.
         """
         if rows.shape[0] == 0:
             return np.empty((0, self.n), dtype=np.int64)
-        prod = self.forward_batch(rows) * f_poly % self._stacked.p
-        inv = self._stacked.inverse_reduced(prod)
-        return self.combine_mod_q(np.moveaxis(inv, 1, 0))
+        return self.mul_transformed_rows(
+            self.forward_batch(rows, limb_major=True), f_poly
+        )
+
+    def mul_transformed_rows(
+        self, limbs: np.ndarray, f_poly: np.ndarray
+    ) -> np.ndarray:
+        """Finish a batched product from already-transformed rows:
+        ``(k, m, n)`` limb-major forward transforms (the arena's cached
+        c1 view) times one transformed polynomial ``(k, n)``, recombined
+        into ``(m, n)`` coefficients mod q."""
+        if limbs.shape[1] == 0:
+            return np.empty((0, self.n), dtype=np.int64)
+        prod = limbs * f_poly[:, None, :] % self._stacked.p[..., None]
+        inv = self._stacked.inverse_reduced_limbmajor(prod)
+        return self.combine_mod_q(inv)
 
 
 @lru_cache(maxsize=32)

@@ -55,6 +55,7 @@ from ..he.arena import (
     CiphertextArena,
     QueryArena,
     fused_decrypt_flags,
+    resolve_arena_build,
     resolve_search_kernel,
     stack_ciphertext,
 )
@@ -167,6 +168,16 @@ class ShardedSearchEngine:
         backends the workers can't replicate (anything without
         ``supports_fused``, e.g. the simulated IFP device) fall back to
         threads regardless.
+    arena_build:
+        When to materialize the database arena's rows / RNS-limb /
+        phase views ("lazy" / "eager"; None defers to the
+        ``REPRO_ARENA_BUILD`` process default, which defaults to lazy).
+        "lazy" builds per tile on first touch, so ``adopt_database``
+        returns without paying the full arena build and each shard's
+        first query builds only that shard's rows.  "eager" restores
+        the old build-everything-at-adopt behavior (and pre-warms
+        worker phase caches under the process executor) for serving
+        fleets that prefer the cost up front.
     """
 
     def __init__(
@@ -182,6 +193,7 @@ class ShardedSearchEngine:
         poly_backend: Optional[str] = None,
         search_kernel: Optional[str] = None,
         executor: Optional[str] = None,
+        arena_build: Optional[str] = None,
     ):
         if client is None:
             if config is None:
@@ -213,6 +225,9 @@ class ShardedSearchEngine:
         if executor is not None:
             resolve_serve_executor(executor)  # validate eagerly
         self.executor = executor
+        if arena_build is not None:
+            resolve_arena_build(arena_build)  # validate eagerly
+        self.arena_build = arena_build
         self.shards: List[DbShard] = []
         self.db: Optional[EncryptedDatabase] = None
         self._comparator: Optional[DeterministicComparator] = None
@@ -259,6 +274,17 @@ class ShardedSearchEngine:
                 self.config.deterministic_seed,
                 self.client.chunk_width,
             )
+        # Eager build mode: pay the full arena build (rows + limb view +
+        # phase cache) here, before serving starts, instead of on the
+        # first query.  Must precede _ensure_workers so share() finds a
+        # complete limb view to publish to the worker processes.
+        if self._arena_build_active() == "eager" and self._fused_active():
+            ctx = self.client.ctx
+            arena = db.fused_arena(ctx.ring, ctx.params)
+            arena.ensure_built()
+            if self._comparator is None:
+                arena.c1_limbs()
+                arena.phases(self.client.sk)
         # Shard boundaries changed: retire the old worker fleet and warm
         # start a new one so the first batch doesn't pay the spawns.
         self._shutdown_workers()
@@ -460,6 +486,10 @@ class ShardedSearchEngine:
 
     # -- executor machinery ----------------------------------------------
 
+    def _arena_build_active(self) -> str:
+        """The resolved arena build mode for this engine."""
+        return resolve_arena_build(self.arena_build)
+
     def _executor_active(self) -> str:
         """The executor this batch actually uses.  Custom backends the
         spawn-fresh workers cannot replicate (anything without
@@ -528,15 +558,24 @@ class ShardedSearchEngine:
         """
         ctx = self.client.ctx
         arena = self.db.fused_arena(ctx.ring, ctx.params)
+        # Eager build mode: workers precompute their shard's phase view
+        # at attach time (decryption-path engines only — the
+        # deterministic comparator never decrypts).
+        warm = (
+            self._arena_build_active() == "eager"
+            and self._comparator is None
+        )
         with self._worker_lock:
             handle = arena.share()
             refreshed = handle != self._shared_handle
             workers = self._process_executor
             if workers is None:
-                workers = ProcessShardExecutor(self._worker_specs(), handle)
+                workers = ProcessShardExecutor(
+                    self._worker_specs(), handle, warm=warm
+                )
                 self._process_executor = workers
             elif refreshed:
-                workers.reattach(handle)
+                workers.reattach(handle, warm=warm)
             self._shared_handle = handle
         # Parent-side slices stay maintained too: they now alias the
         # same shared pages the workers mapped, and the thread fallback

@@ -117,6 +117,8 @@ class _WorkerHandle:
         self.process = None
         self.conn = None
         self.arena_handle: Optional[SharedArenaHandle] = None
+        #: whether the last attach asked the worker to pre-warm caches
+        self.warm = False
         #: times this shard's worker was respawned after a crash
         self.restarts = 0
 
@@ -124,7 +126,7 @@ class _WorkerHandle:
     def alive(self) -> bool:
         return self.process is not None and self.process.is_alive()
 
-    def spawn(self, arena_handle: SharedArenaHandle) -> None:
+    def spawn(self, arena_handle: SharedArenaHandle, warm: bool = False) -> None:
         parent_conn, child_conn = self._mp.Pipe()
         process = self._mp.Process(
             target=shard_worker_main,
@@ -136,16 +138,17 @@ class _WorkerHandle:
         child_conn.close()
         self.process = process
         self.conn = parent_conn
-        self.attach(arena_handle)
+        self.attach(arena_handle, warm)
 
     def respawn(self) -> None:
         self.restarts += 1
         self.close(graceful=False)
-        self.spawn(self.arena_handle)
+        self.spawn(self.arena_handle, self.warm)
 
-    def attach(self, arena_handle: SharedArenaHandle) -> None:
+    def attach(self, arena_handle: SharedArenaHandle, warm: bool = False) -> None:
         self.arena_handle = arena_handle
-        self.send(("attach", arena_handle))
+        self.warm = warm
+        self.send(("attach", arena_handle, warm))
 
     def send(self, msg: tuple) -> None:
         if self.conn is None or self.process is None:
@@ -217,6 +220,7 @@ class ProcessShardExecutor:
         arena_handle: SharedArenaHandle,
         *,
         poll_interval: float = 0.05,
+        warm: bool = False,
     ):
         mp_ctx = spawn_context()
         self._poll_interval = poll_interval
@@ -230,21 +234,26 @@ class ProcessShardExecutor:
         # Spawn everything first, then the interpreters boot in
         # parallel; the attach messages wait in each pipe.
         for handle in self._handles.values():
-            handle.spawn(arena_handle)
+            handle.spawn(arena_handle, warm)
         self._finalizer = weakref.finalize(
             self, _close_handles, list(self._handles.values())
         )
 
     # -- arena lifecycle --------------------------------------------------
 
-    def reattach(self, arena_handle: SharedArenaHandle) -> None:
+    def reattach(
+        self, arena_handle: SharedArenaHandle, warm: bool = False
+    ) -> None:
         """Point every worker at a re-shared arena (after
-        ``invalidate_caches`` / ``adopt_database`` rebuilt it)."""
+        ``invalidate_caches`` / ``adopt_database`` rebuilt it).
+        ``warm`` asks each worker to precompute its shard's phase view
+        at attach time (the eager arena-build mode)."""
         for handle in self._handles.values():
             try:
-                handle.attach(arena_handle)
+                handle.attach(arena_handle, warm)
             except WorkerCrashError:
                 handle.arena_handle = arena_handle
+                handle.warm = warm
                 handle.respawn()
 
     # -- tasks ------------------------------------------------------------

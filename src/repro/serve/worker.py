@@ -11,9 +11,11 @@ not a pickle.
 
 Wire protocol (one duplex pipe per worker, parent -> child):
 
-``("attach", handle)``
+``("attach", handle, warm)``
     (Re-)attach the database arena.  No reply; pipe FIFO ordering
-    guarantees the attach lands before any task that needs it.
+    guarantees the attach lands before any task that needs it.  With
+    ``warm`` (the eager arena-build mode) the worker precomputes its
+    shard's phase view immediately instead of on the first task.
 ``("task", task_id, kernel, query_stack, row_map, row_residue)``
     Run one (query, shard) unit.  ``query_stack`` is the query arena's
     ``(R, 2, n)`` rows, ``row_map`` the ``(V, shard_polys)`` local row
@@ -123,12 +125,17 @@ class _WorkerState:
         #: in-flight task that might still read them
         self._attached = []
 
-    def attach(self, handle: SharedArenaHandle) -> None:
+    def attach(self, handle: SharedArenaHandle, warm: bool = False) -> None:
         arena = CiphertextArena.attach_shared(
             self.ctx.ring, self.spec.params, handle, self.spec.start, self.spec.stop
         )
         self._attached.append(arena)
         self.arena = arena
+        if warm and self.comparator is None:
+            # Eager build: pay the shard's limb transforms + phase rows
+            # now so the first task doesn't.  (The deterministic
+            # comparator path never decrypts, so nothing to warm.)
+            arena.phases(self.sk)
 
     def run(
         self,
@@ -216,7 +223,7 @@ def shard_worker_main(conn, spec: ShardWorkerSpec) -> None:
             if op == "stop":
                 return
             if op == "attach":
-                state.attach(msg[1])
+                state.attach(msg[1], msg[2] if len(msg) > 2 else False)
             elif op == "ping":
                 conn.send(("pong", spec.shard_id))
             elif op == "crash":

@@ -220,6 +220,184 @@ def test_hypothesis_roundtrip_add_decrypt_flags(m_db, m_q):
 
 
 # ---------------------------------------------------------------------------
+# Tiled broadcast add, limb-major layout, lazy build
+# ---------------------------------------------------------------------------
+
+
+@given(
+    num_polys=st.integers(1, 9),
+    num_variants=st.integers(1, 5),
+    tile_bytes=st.sampled_from([1, 700, 1 << 13]),
+    q_idx=st.integers(0, len(MODULI) - 1),
+    seed=st.integers(0, 2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_hypothesis_tiled_add_parity_at_tile_boundaries(
+    num_polys, num_variants, tile_bytes, q_idx, seed
+):
+    """The tiled broadcast add is bit-identical to the one-shot mod-add
+    for every (P, V) — including P/V that are not multiples of the tile
+    shape — with and without a recycled output buffer."""
+    n = 16
+    q = MODULI[q_idx]
+    params = BFVParams(n=n, q=q, t=4, name="tile-parity")
+    ring = RingContext(n, q)
+    rng = np.random.default_rng(seed)
+    stack = rng.integers(0, q, size=(num_polys, 2, n), dtype=np.int64)
+    q_stack = rng.integers(0, q, size=(num_variants, 2, n), dtype=np.int64)
+    arena = CiphertextArena(ring, params, stack)
+    want = (stack[None] + q_stack[:, None]) % q
+    assert np.array_equal(
+        arena.hom_add_broadcast(q_stack, tile_bytes=tile_bytes), want
+    )
+    out = np.empty((num_variants, num_polys, 2, n), dtype=np.int64)
+    got = arena.hom_add_broadcast(q_stack, out=out, tile_bytes=tile_bytes)
+    assert got is out and np.array_equal(out, want)
+    row_out = np.empty((num_polys, 2, n), dtype=np.int64)
+    one = arena.hom_add_broadcast(
+        q_stack[0], out=row_out, tile_bytes=tile_bytes
+    )
+    assert one is row_out and np.array_equal(row_out, want[0])
+
+
+def test_hom_add_broadcast_rejects_bad_out():
+    params, ctx, sk, pk, cts = _setup()
+    arena = CiphertextArena.from_ciphertexts(ctx.ring, params, cts)
+    query = np.zeros((3, 2, 64), dtype=np.int64)
+    with pytest.raises(ValueError):
+        arena.hom_add_broadcast(
+            query, out=np.zeros((2, len(cts), 2, 64), dtype=np.int64)
+        )
+    with pytest.raises(ValueError):
+        arena.hom_add_broadcast(
+            query, out=np.zeros((3, len(cts), 2, 64), dtype=np.float64)
+        )
+    with pytest.raises(ValueError):
+        arena.hom_add_broadcast(query, tile_bytes=0)
+
+
+@pytest.mark.parametrize("q", MODULI)
+@pytest.mark.parametrize("n", [64, 256])
+def test_forward_batch_limb_major_matches_batch_major(n, q):
+    basis = get_rns_basis(n, q)
+    k = len(basis.primes)
+    rng = np.random.default_rng(n + q % 101)
+    rows = rng.integers(-(q // 2), q // 2, size=(5, n), dtype=np.int64)
+    batch_major = basis.forward_batch(rows)
+    limb_major = basis.forward_batch(rows, limb_major=True)
+    assert limb_major.shape == (k, 5, n)
+    assert np.array_equal(limb_major, np.moveaxis(batch_major, 1, 0))
+    empty = np.empty((0, n), dtype=np.int64)
+    assert basis.forward_batch(empty).shape == (0, k, n)
+    assert basis.forward_batch(empty, limb_major=True).shape == (k, 0, n)
+
+
+def test_arena_c1_limbs_limb_major_layout_and_slices():
+    params, ctx, sk, pk, cts = _setup()
+    arena = CiphertextArena.from_ciphertexts(ctx.ring, params, cts)
+    limbs = arena.c1_limbs()
+    if limbs is None:
+        pytest.skip("limb view requires the vectorized backend")
+    basis = get_rns_basis(params.n, params.q)
+    assert limbs.shape == (len(basis.primes), len(cts), 64)
+    # slices take the row range on the middle (poly) axis, zero-copy
+    part = arena.slice(1, 4)
+    assert np.shares_memory(part.c1_limbs(), limbs)
+    assert np.array_equal(part.c1_limbs(), limbs[:, 1:4])
+
+
+@pytest.mark.parametrize("q", MODULI)
+def test_tiled_phase_build_matches_direct_computation(q):
+    """Per-tile phase/limb construction (build_tile smaller than — and
+    not dividing — the row count) equals the one-shot formula on every
+    modulus regime."""
+    n = 64
+    params = BFVParams(n=n, q=q, t=4, name="phase-tiles")
+    ring = RingContext(n, q)
+    rng = np.random.default_rng(q % 9973)
+    stack = rng.integers(0, q, size=(7, 2, n), dtype=np.int64)
+    from repro.he.keys import SecretKey
+
+    s = ring.make(rng.integers(-1, 2, size=n))
+    sk = SecretKey(params, s)
+    arena = CiphertextArena(ring, params, stack.copy(), build_tile=2)
+    want = add_mod_q(stack[:, 0], mul_rows_by_poly(ring, stack[:, 1], s), q)
+    got = arena.phases(sk)
+    assert np.array_equal(got, want)
+    assert arena.phases(sk) is got  # cached per sk, identity preserved
+    assert np.array_equal(arena.slice(3, 6).phases(sk), want[3:6])
+
+
+@pytest.mark.parametrize("backend", ["vectorized", "reference"])
+def test_lazy_arena_matches_eager(backend):
+    params, ctx, sk, pk, cts = _setup(backend=backend)
+    eager = CiphertextArena.from_ciphertexts(ctx.ring, params, cts)
+    lazy = CiphertextArena.from_ciphertexts(
+        ctx.ring, params, cts, lazy=True, build_tile=2
+    )
+    assert not lazy.fully_built
+    # touching a slice builds only the tiles covering its rows
+    part = lazy.slice(1, 4)
+    assert np.array_equal(part.phases(sk), eager.phases(sk)[1:4])
+    assert part.fully_built
+    assert not lazy.fully_built  # the last tile (row 4) is untouched
+    assert lazy.ciphertext(4) == cts[4]
+    lazy.ensure_built()
+    assert lazy.fully_built
+    assert lazy._source is None  # pending list dropped once built
+    assert np.array_equal(lazy.stack, eager.stack)
+    assert np.array_equal(lazy.phases(sk), eager.phases(sk))
+    assert np.array_equal(
+        lazy.hom_add_broadcast(stack_ciphertext(cts[0])),
+        eager.hom_add_broadcast(stack_ciphertext(cts[0])),
+    )
+
+
+def test_lazy_arena_kernels_build_on_first_touch():
+    params, ctx, sk, pk, cts = _setup()
+    lazy = CiphertextArena.from_ciphertexts(
+        ctx.ring, params, cts, lazy=True, build_tile=2
+    )
+    eager = CiphertextArena.from_ciphertexts(ctx.ring, params, cts)
+    query = stack_ciphertext(cts[2])
+    assert np.array_equal(
+        lazy.hom_add_broadcast(query), eager.hom_add_broadcast(query)
+    )
+    assert np.array_equal(lazy.c0, eager.c0)  # property forces the build
+    assert lazy.fully_built
+
+
+# ---------------------------------------------------------------------------
+# Build-mode / tile plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_arena_build_and_tile_resolution(monkeypatch):
+    from repro.he.arena import (
+        ARENA_BUILD_ENV_VAR,
+        TILE_ENV_VAR,
+        _DEFAULT_TILE_BYTES,
+        resolve_arena_build,
+        resolve_tile_bytes,
+    )
+
+    monkeypatch.delenv(ARENA_BUILD_ENV_VAR, raising=False)
+    monkeypatch.delenv(TILE_ENV_VAR, raising=False)
+    assert resolve_arena_build(None) == "lazy"
+    assert resolve_arena_build("eager") == "eager"
+    monkeypatch.setenv(ARENA_BUILD_ENV_VAR, "eager")
+    assert resolve_arena_build(None) == "eager"
+    with pytest.raises(ValueError):
+        resolve_arena_build("sometimes")
+    assert resolve_tile_bytes(None) == _DEFAULT_TILE_BYTES
+    monkeypatch.setenv(TILE_ENV_VAR, "4096")
+    assert resolve_tile_bytes(None) == 4096
+    assert resolve_tile_bytes(123) == 123  # explicit beats env
+    with pytest.raises(ValueError):
+        resolve_tile_bytes(-1)
+
+
+# ---------------------------------------------------------------------------
 # Query arena
 # ---------------------------------------------------------------------------
 

@@ -201,6 +201,127 @@ def test_close_terminates_workers():
     engine.close()  # idempotent
 
 
+def test_reshare_after_invalidate_unlinks_old_segments():
+    """Re-sharing after invalidate_caches() must unlink the previous
+    /dev/shm segments *eagerly* — not when GC happens to collect the
+    old arena — or repeated adoption leaks kernel memory."""
+    if not os.path.isdir("/dev/shm"):
+        pytest.skip("no /dev/shm on this host")
+    params, db, queries = _workload(num_polys=4)
+    with _engine(params, executor="process", num_shards=2) as engine:
+        engine.outsource(db)
+        before = engine.search_batch(queries[:1]).matches_per_query()
+        handle = engine._shared_handle
+        assert handle is not None and handle.kind == "shm"
+        old_refs = [handle.stack_ref]
+        if handle.limbs_ref is not None:
+            old_refs.append(handle.limbs_ref)
+        listing = set(os.listdir("/dev/shm"))
+        for ref in old_refs:
+            assert ref in listing
+        # Strong references to the shared blocks: if the segments
+        # disappear anyway, it was the eager unlink, not refcount GC.
+        old_blocks = list(engine.db._arena._blocks)
+        assert old_blocks
+        engine.db.invalidate_caches()
+        listing = set(os.listdir("/dev/shm"))
+        for ref in old_refs:
+            assert ref not in listing, "stale shm segment leaked until GC"
+        # the engine re-shares a fresh arena and keeps serving
+        after = engine.search_batch(queries[:1]).matches_per_query()
+        assert after == before
+        new_handle = engine._shared_handle
+        assert new_handle is not None and new_handle != handle
+        listing = set(os.listdir("/dev/shm"))
+        assert new_handle.stack_ref in listing
+    # engine close tears the worker fleet down; the db still owns the
+    # current arena — dropping it must clean the last segments too
+    engine.db.invalidate_caches()
+    listing = set(os.listdir("/dev/shm"))
+    assert new_handle.stack_ref not in listing
+
+
+# -- arena build modes -------------------------------------------------------
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+@pytest.mark.parametrize("mode", ["lazy", "eager"])
+def test_arena_build_modes_match_across_executors(executor, mode):
+    """Lazy and eager builds serve identical match sets under both
+    executors (the build schedule must never be observable)."""
+    params, db, queries = _workload()
+    with _engine(params, executor="thread") as oracle:
+        oracle.outsource(db)
+        expected = oracle.search_batch(queries).matches_per_query()
+    engine = ShardedSearchEngine(
+        ClientConfig(params, key_seed=23),
+        num_shards=3,
+        search_kernel="fused",
+        executor=executor,
+        arena_build=mode,
+    )
+    with engine:
+        engine.outsource(db)
+        assert engine.search_batch(queries).matches_per_query() == expected
+
+
+def test_lazy_adopt_defers_arena_build():
+    """arena_build='lazy' returns from adopt with an unbuilt arena; the
+    first query materializes it.  'eager' restores build-at-adopt."""
+    params, db, queries = _workload()
+    # thread executor: the process path's share() materializes the stack
+    # at adopt regardless of build mode, which is exactly what we are
+    # *not* probing here
+    lazy = ShardedSearchEngine(
+        ClientConfig(params, key_seed=23),
+        num_shards=2,
+        search_kernel="fused",
+        executor="thread",
+        arena_build="lazy",
+    )
+    with lazy:
+        encrypted = lazy.outsource(db)
+        assert encrypted._arena is None  # adopt paid nothing
+        lazy.search_batch(queries[:1])
+        arena = encrypted._arena
+        assert arena is not None
+        assert arena.fully_built  # the query touched every shard
+    encrypted.invalidate_caches()
+    eager = ShardedSearchEngine(
+        ClientConfig(params, key_seed=23),
+        num_shards=2,
+        search_kernel="fused",
+        executor="thread",
+        arena_build="eager",
+    )
+    with eager:
+        eager.adopt_database(encrypted)
+        arena = encrypted._arena
+        assert arena is not None and arena.fully_built
+        assert arena._phase_rows is not None  # phases pre-warmed too
+
+
+def test_engine_rejects_unknown_arena_build():
+    params, _, _ = _workload(num_polys=1, num_queries=1)
+    with pytest.raises(ValueError):
+        ShardedSearchEngine(
+            ClientConfig(params, key_seed=1), arena_build="never"
+        )
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_fused_limb_major_decrypt_matches_object_kernel(executor):
+    """The limb-major decrypt layout must stay bit-identical to the
+    object kernel's per-block decryption, under both executors."""
+    params, db, queries = _workload()
+    results = {}
+    for kernel in ("object", "fused"):
+        with _engine(params, executor=executor, kernel=kernel) as engine:
+            engine.outsource(db)
+            results[kernel] = engine.search_batch(queries).matches_per_query()
+    assert results["fused"] == results["object"]
+
+
 # -- crash recovery ----------------------------------------------------------
 
 
