@@ -1,0 +1,222 @@
+"""Open-loop load SLO benchmark over the trace-driven harness.
+
+Boots a loopback :class:`repro.net.ServiceThread` around a 2-shard
+``bfv-sharded`` engine on the **process** executor with a small
+per-connection admission bound, then drives the ``database`` scenario
+(32-bit exact key lookups from :mod:`repro.load`) through the client
+SDK two ways:
+
+* **half rate** — a seeded Poisson trace at ~0.4x the closed-loop
+  sustainable rate.  Nothing may shed.
+* **overload** — the same scenario at ~5x sustainable.  The admission
+  controller must shed, and the accounting must balance *exactly*:
+  ``offered == completed + shed`` with zero failures.
+
+The overload trace is saved to disk, reloaded, and re-generated from
+the same seed; all three must describe the identical request sequence
+(the record/replay guarantee the CI ``load-smoke`` job relies on).
+
+The table reports per-lane offered vs achieved q/s, shed rate and
+p50/p95/p99 latency; the same report is written machine-readable to
+``benchmarks/out/load_slo.json`` via ``LoadReport.to_json``.  Runs
+standalone (``python benchmarks/bench_load.py``) or under pytest.
+``--quick`` shrinks the request counts and **exits non-zero if any
+gate fails** — the CI bench-smoke gate.
+
+All RNG seeds are pinned (--seed, default 11) so the CI gate replays
+the exact same workload on every run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import math
+import sys
+import time
+
+from _util import OUT_DIR, emit
+
+from repro.he import BFVParams
+from repro.load import (
+    SCENARIO_REGISTRY,
+    LoadReport,
+    LoadTrace,
+    PoissonArrivals,
+    RemoteTarget,
+    ScenarioSlo,
+    generate_trace,
+    run_trace,
+)
+from repro.net import Client, ServiceThread
+
+NUM_SHARDS = 2
+MAX_IN_FLIGHT = 16
+OVERLOAD_FACTOR = 5.0
+HALF_FACTOR = 0.4
+
+
+def _trace_signature(trace: LoadTrace):
+    """The replay-relevant content of a trace, comparable across copies."""
+    from repro.load.trace import request_to_json
+
+    return [
+        (ev.index, ev.at, request_to_json(ev.request), ev.expected)
+        for ev in trace.events
+    ]
+
+
+def run(quick: bool, seed: int) -> int:
+    n_probe = 4 if quick else 8
+    n_half = 30 if quick else 80
+    n_over = 60 if quick else 150
+
+    scenario = SCENARIO_REGISTRY.create("database", seed=seed)
+    failures = []
+
+    with ServiceThread(
+        "bfv-sharded",
+        params=BFVParams.test_small(64),
+        num_shards=NUM_SHARDS,
+        key_seed=seed,
+        executor="process",
+        max_in_flight=MAX_IN_FLIGHT,
+    ) as service:
+        # shedding is per-connection: one socket so the in-flight bound
+        # applies to the whole open-loop stream
+        client = Client(service.address, pool_size=1)
+        target = RemoteTarget(client, owns_client=True)
+        try:
+            target_desc = target.describe()
+            scenario.check(target.capabilities, target_desc)
+            target.outsource(scenario.db_bits())
+
+            # -- closed-loop probe: sustainable per-request latency ------
+            probe = [
+                ev.request
+                for ev in generate_trace(
+                    scenario, PoissonArrivals(), 100.0, max_requests=n_probe + 1
+                ).events
+            ]
+            target.submit(probe[0], None).result()  # warm the worker pool
+            t0 = time.perf_counter()
+            for request in probe[1:]:
+                target.submit(request, None).result()
+            mean_latency = (time.perf_counter() - t0) / n_probe
+            sustainable = 1.0 / mean_latency
+
+            # -- half-rate lane: nothing may shed ------------------------
+            rate_lo = HALF_FACTOR * sustainable
+            trace_lo = generate_trace(
+                scenario, PoissonArrivals(), rate_lo, max_requests=n_half
+            )
+            slo_lo = ScenarioSlo.from_run(trace_lo, run_trace(trace_lo, target))
+
+            # -- overload lane: admission control must shed --------------
+            rate_hi = OVERLOAD_FACTOR * sustainable
+            trace_hi = generate_trace(
+                scenario, PoissonArrivals(), rate_hi, max_requests=n_over
+            )
+            slo_hi = ScenarioSlo.from_run(trace_hi, run_trace(trace_hi, target))
+
+            stats = target.stats()
+        finally:
+            target.close()
+
+    # -- record/replay: disk copy and fresh generation must be identical --
+    OUT_DIR.mkdir(exist_ok=True)
+    trace_path = OUT_DIR / "load_overload_trace.jsonl"
+    trace_hi.save(trace_path)
+    reloaded = LoadTrace.load(trace_path)
+    regenerated = generate_trace(
+        SCENARIO_REGISTRY.create("database", seed=seed),
+        PoissonArrivals(),
+        rate_hi,
+        max_requests=n_over,
+    )
+    if _trace_signature(reloaded) != _trace_signature(trace_hi):
+        failures.append("reloaded trace diverged from the recorded one")
+    if _trace_signature(regenerated) != _trace_signature(trace_hi):
+        failures.append("re-generated trace diverged (seeding is broken)")
+
+    # -- gates ------------------------------------------------------------
+    for lane, slo in (("half-rate", slo_lo), ("overload", slo_hi)):
+        if not slo.balanced:
+            failures.append(
+                f"{lane}: offered {slo.offered} != completed {slo.completed}"
+                f" + shed {slo.shed} + failed {slo.failed}"
+            )
+        if slo.failed:
+            failures.append(f"{lane}: {slo.failed} request(s) failed")
+        if slo.mismatches:
+            failures.append(
+                f"{lane}: {slo.mismatches} result(s) diverged from the "
+                f"plaintext oracle"
+            )
+        if not math.isfinite(slo.p99_ms):
+            failures.append(f"{lane}: p99 is not finite")
+    if slo_lo.shed:
+        failures.append(
+            f"half-rate: shed {slo_lo.shed} request(s) at "
+            f"{HALF_FACTOR:.1f}x sustainable (admission bound too tight?)"
+        )
+    if not slo_hi.shed:
+        failures.append(
+            f"overload: no sheds at {OVERLOAD_FACTOR:.1f}x sustainable "
+            f"(admission control never engaged)"
+        )
+
+    report = LoadReport(
+        target=target_desc,
+        arrival="poisson",
+        rate=rate_hi,
+        seed=seed,
+        scenarios=[
+            dataclasses.replace(slo_lo, scenario="database @0.4x"),
+            dataclasses.replace(slo_hi, scenario="database @5x"),
+        ],
+        executor=str(stats.get("executor", "")),
+        worker_restarts=int(stats.get("worker_restarts", 0) or 0),
+        scheduler_sheds=int(stats.get("scheduler_sheds", 0) or 0),
+    )
+    emit("load_slo", report.table())
+    (OUT_DIR / "load_slo.json").write_text(report.to_json() + "\n")
+
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 1
+    print(
+        f"load gate OK: sustainable ~{sustainable:.0f} q/s; half-rate "
+        f"{slo_lo.completed}/{slo_lo.offered} completed with 0 sheds; "
+        f"overload shed {slo_hi.shed}/{slo_hi.offered} "
+        f"({slo_hi.shed_rate:.0%}) with exact accounting; trace "
+        f"record/replay identical"
+    )
+    return 0
+
+
+def test_emit_load_slo(benchmark):
+    """Pytest entry point (same artifact, quick shape)."""
+    benchmark(lambda: None)
+    assert run(quick=True, seed=11) == 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small trace; non-zero exit if shed accounting breaks, the "
+        "overload lane never sheds, or the half-rate lane sheds (CI gate)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=11,
+        help="scenario + arrival + key seed (default: 11, pinned so CI "
+        "runs are reproducible)",
+    )
+    args = parser.parse_args()
+    return run(quick=args.quick, seed=args.seed)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

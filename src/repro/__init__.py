@@ -28,6 +28,10 @@ Subpackages
     and queueing-model throughput/latency reporting.
 ``repro.workloads``
     DNA string matching and encrypted database search case studies.
+``repro.load``
+    Trace-driven open-loop load harness: scenario request streams over
+    the workloads, Poisson/bursty/constant arrivals, record/replay
+    traces and per-scenario SLO reporting.
 
 ``repro.api``
     The unified facade over all of the above: typed search requests,
@@ -48,17 +52,19 @@ Quickstart
 (160,)
 """
 
-__version__ = "1.5.0"
+__version__ = "1.8.0"
 
 from . import baselines, core, eval, flash, he, ndp, ssd, tfhe, workloads  # noqa: F401
 from . import api  # noqa: F401  (depends on the subpackages above)
 from . import net  # noqa: F401  (registers the "remote" engine)
+from . import load  # noqa: F401  (scenarios over api + workloads + net)
 from .api import open_session  # noqa: F401
 from .verify import VerifyPolicy  # noqa: F401
 
 __all__ = [
     "api",
     "net",
+    "load",
     "baselines",
     "core",
     "eval",

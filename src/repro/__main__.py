@@ -10,6 +10,8 @@
     python -m repro serve              # sharded concurrent serving demo
     python -m repro serve-net          # TCP search service (SIGTERM drains)
     python -m repro search --remote host:port --query fox
+    python -m repro load --scenario database --arrival poisson --rate 20
+    python -m repro load --trace trace.jsonl --remote host:port
 
 Every subcommand has ``--help``; ``search`` talks to the unified
 :mod:`repro.api` facade, so ``--engine``/``--shards``/``--poly-backend``/
@@ -336,6 +338,168 @@ def _serve_net(args: argparse.Namespace) -> int:
         return 1
 
 
+def _load(args: argparse.Namespace) -> int:
+    """Open-loop load harness: scenarios x arrivals -> SLO report."""
+    import repro
+    from repro.api import CapabilityError, DEFAULT_REGISTRY, UnknownEngineError
+    from repro.load import (
+        SCENARIO_REGISTRY,
+        LoadReport,
+        LoadTrace,
+        RemoteTarget,
+        ScenarioSlo,
+        SessionTarget,
+        UnknownScenarioError,
+        generate_trace,
+        resolve_arrival,
+        run_trace,
+    )
+    from repro.net import Client
+
+    if args.list_scenarios:
+        print(SCENARIO_REGISTRY.scenario_matrix())
+        return 0
+
+    # -- resolve the trace(s) to replay ----------------------------------
+    if args.trace is not None:
+        try:
+            trace = LoadTrace.load(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}")
+            return 2
+        if args.scenario not in (None, "all", trace.scenario):
+            print(
+                f"error: --scenario {args.scenario!r} conflicts with the "
+                f"trace's scenario {trace.scenario!r}"
+            )
+            return 2
+        seed = trace.seed
+        scenario_keys = [trace.scenario]
+        arrival_name = trace.arrival
+        rate = trace.rate
+        traces = {trace.scenario: trace}
+    else:
+        seed = args.seed
+        scenario_keys = (
+            list(SCENARIO_REGISTRY.keys())
+            if args.scenario in (None, "all")
+            else [args.scenario]
+        )
+        arrival_name = args.arrival
+        rate = args.rate
+        traces = {}
+
+    if args.record is not None and len(scenario_keys) != 1:
+        print("error: --record needs a single --scenario (not 'all')")
+        return 2
+
+    # -- build scenarios + traces ----------------------------------------
+    scenarios = {}
+    for key in scenario_keys:
+        try:
+            scenarios[key] = SCENARIO_REGISTRY.create(key, seed=seed)
+        except UnknownScenarioError as exc:
+            print(f"error: {exc}")
+            return 2
+        if key not in traces:
+            try:
+                arrival = resolve_arrival(arrival_name)
+            except ValueError as exc:
+                print(f"error: {exc}")
+                return 2
+            if args.duration is None and args.requests is None:
+                print("error: need --duration and/or --requests "
+                      "(or --trace to replay a recorded trace)")
+                return 2
+            traces[key] = generate_trace(
+                scenarios[key],
+                arrival,
+                rate,
+                duration=args.duration,
+                max_requests=args.requests,
+                deadline=args.deadline,
+            )
+    if args.record is not None:
+        traces[scenario_keys[0]].save(args.record)
+        print(f"recorded {traces[scenario_keys[0]].num_requests} requests "
+              f"to {args.record}")
+
+    # -- drive each scenario against its own target ----------------------
+    def make_target(scenario):
+        if args.remote is not None:
+            client = Client(args.remote, pool_size=args.pool_size)
+            return RemoteTarget(client, owns_client=True)
+        engine_kwargs = {}
+        spec = DEFAULT_REGISTRY.spec(args.engine)
+        if spec.capabilities.sharded:
+            engine_kwargs["num_shards"] = args.shards
+        if args.executor is not None:
+            engine_kwargs["executor"] = args.executor
+        if args.search_kernel is not None:
+            engine_kwargs["search_kernel"] = args.search_kernel
+        if args.poly_backend is not None:
+            engine_kwargs["poly_backend"] = args.poly_backend
+        if args.key_seed is not None and args.engine != "plaintext":
+            engine_kwargs[
+                "key_seed" if args.engine.startswith("bfv") else "seed"
+            ] = args.key_seed
+        session = repro.open_session(args.engine, **engine_kwargs)
+        return SessionTarget(session, owns_session=True)
+
+    slos, stats = [], {}
+    for key in scenario_keys:
+        scenario, trace = scenarios[key], traces[key]
+        try:
+            target = make_target(scenario)
+        except (UnknownEngineError, TypeError, ValueError, OSError) as exc:
+            print(f"error: {exc}")
+            return 2
+        try:
+            try:
+                scenario.check(target.capabilities, target.describe())
+            except CapabilityError as exc:
+                print(f"error: {exc}")
+                return 2
+            target.outsource(scenario.db_bits())
+            run = run_trace(trace, target)
+            slo = ScenarioSlo.from_run(trace, run)
+            slos.append(slo)
+            stats = target.stats()
+        finally:
+            target.close()
+
+    report = LoadReport(
+        target=(
+            f"remote:{args.remote}" if args.remote is not None
+            else f"in-process:{args.engine}"
+        ),
+        arrival=arrival_name,
+        rate=rate,
+        seed=seed,
+        scenarios=slos,
+        executor=str(stats.get("executor", "")),
+        worker_restarts=int(stats.get("worker_restarts", 0) or 0),
+        scheduler_sheds=int(stats.get("scheduler_sheds", 0) or 0),
+    )
+    print(report.table())
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"wrote SLO report to {args.json}")
+    if not report.balanced:
+        print("FAIL: shed accounting does not balance "
+              "(offered != completed + shed + failed)")
+        return 1
+    if report.failed:
+        print(f"FAIL: {report.failed} request(s) failed")
+        return 1
+    if report.mismatches:
+        print(f"FAIL: {report.mismatches} completed request(s) diverged "
+              f"from plaintext ground truth")
+        return 1
+    return 0
+
+
 def _figures(args: argparse.Namespace) -> int:
     from repro.eval.runner import main as figures_main
 
@@ -508,6 +672,98 @@ def build_parser() -> argparse.ArgumentParser:
         "shedding (default: 64)",
     )
     p_serve_net.set_defaults(func=_serve_net)
+
+    p_load = sub.add_parser(
+        "load",
+        help="trace-driven open-loop load harness (repro.load)",
+        description="Drive typed scenario request streams (DNA, "
+        "biometric, database, read-mapper) through an in-process "
+        "session or a running serve-net service under Poisson, bursty "
+        "or constant-rate arrivals, and print per-scenario SLO "
+        "percentiles with exact shed accounting. Traces can be "
+        "recorded with --record and replayed bit-for-bit with --trace.",
+    )
+    p_load.add_argument(
+        "--scenario", default=None,
+        help="scenario registry key, or 'all' (default: all; see "
+        "--list-scenarios)",
+    )
+    p_load.add_argument(
+        "--arrival", default="poisson",
+        choices=["constant", "poisson", "bursty"],
+        help="arrival process (default: poisson)",
+    )
+    p_load.add_argument(
+        "--rate", type=float, default=20.0,
+        help="offered rate in requests/second (default: 20)",
+    )
+    p_load.add_argument(
+        "--duration", type=float,
+        help="trace duration in seconds (and/or --requests)",
+    )
+    p_load.add_argument(
+        "--requests", type=int,
+        help="cap on the number of requests in the trace",
+    )
+    p_load.add_argument(
+        "--seed", type=int, default=0,
+        help="scenario + arrival seed (default: 0)",
+    )
+    p_load.add_argument(
+        "--deadline", type=float,
+        help="per-request deadline in seconds (remote targets enforce "
+        "it via oldest-deadline shedding)",
+    )
+    p_load.add_argument(
+        "--trace", metavar="PATH",
+        help="replay a recorded JSONL trace instead of generating one "
+        "(scenario/arrival/rate/seed come from the trace header)",
+    )
+    p_load.add_argument(
+        "--record", metavar="PATH",
+        help="save the generated trace to a JSONL file before running",
+    )
+    p_load.add_argument(
+        "--remote", metavar="HOST:PORT",
+        help="drive a running `python -m repro serve-net` service over "
+        "the client SDK instead of an in-process session",
+    )
+    p_load.add_argument(
+        "--pool-size", type=int, default=2,
+        help="client connection-pool size for --remote (default: 2)",
+    )
+    p_load.add_argument(
+        "--engine", default="bfv-sharded",
+        help="in-process engine registry key (default: bfv-sharded)",
+    )
+    p_load.add_argument(
+        "--shards", type=int, default=4,
+        help="shard count for sharded engines (default: 4)",
+    )
+    p_load.add_argument(
+        "--executor", choices=["thread", "process"],
+        help="shard executor (bfv-sharded engine only)",
+    )
+    p_load.add_argument(
+        "--search-kernel", choices=["fused", "object"],
+        help="search execution kernel (bfv / bfv-sharded engines)",
+    )
+    p_load.add_argument(
+        "--poly-backend", choices=["vectorized", "reference"],
+        help="polynomial-arithmetic backend",
+    )
+    p_load.add_argument(
+        "--key-seed", type=int, help="deterministic key generation seed"
+    )
+    p_load.add_argument(
+        "--json", metavar="PATH",
+        help="also write the SLO report as machine-readable JSON",
+    )
+    p_load.add_argument(
+        "--list-scenarios", action="store_true",
+        help="print the scenario matrix and exit",
+    )
+    p_load.set_defaults(func=_load)
 
     return parser
 

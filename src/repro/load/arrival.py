@@ -1,0 +1,163 @@
+"""Open-loop arrival processes for the load harness.
+
+Closed-loop drivers (issue, wait, issue) can never observe queueing
+collapse: the client slows down with the server.  An *open-loop* driver
+schedules request arrivals from a stochastic process that does not care
+how the server is doing — the only regime where tail latency and
+admission-control shedding mean anything.  Three processes:
+
+* ``constant`` — fixed inter-arrival gap ``1/rate`` (paced replay);
+* ``poisson``  — i.i.d. exponential gaps (memoryless open-loop
+  traffic, the standard serving-benchmark default);
+* ``bursty``   — a 2-state Markov-modulated Poisson process: calm
+  periods at ``0.2x`` the nominal rate alternating with bursts at
+  ``4x``, with exponentially distributed sojourns weighted 15:4 so
+  the long-run average is exactly 1.0x the nominal rate.  This is the
+  process that actually exercises oldest-deadline shedding at rates a
+  Poisson stream would sustain.
+
+All draws go through a generator from
+:func:`repro.utils.rng.as_generator`, so a seed reproduces the exact
+arrival timeline and a recorded trace replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterator, List, Optional, Type
+
+import numpy as np
+
+from ..utils.rng import SeedLike, as_generator
+
+
+class ArrivalProcess(abc.ABC):
+    """A stream of inter-arrival gaps at a nominal ``rate`` (req/s)."""
+
+    name: str = ""
+
+    @abc.abstractmethod
+    def gaps(self, rate: float, rng: np.random.Generator) -> Iterator[float]:
+        """Yield successive inter-arrival gaps in seconds, forever."""
+
+    def times(
+        self,
+        rate: float,
+        *,
+        duration: Optional[float] = None,
+        max_requests: Optional[int] = None,
+        seed: SeedLike = 0,
+    ) -> List[float]:
+        """Materialize absolute arrival times from t=0.
+
+        Stops at ``duration`` seconds and/or after ``max_requests``
+        arrivals — at least one bound is required (the gap stream is
+        infinite).
+        """
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if duration is None and max_requests is None:
+            raise ValueError("need duration and/or max_requests to bound the stream")
+        rng = as_generator(seed)
+        out: List[float] = []
+        t = 0.0
+        for gap in self.gaps(rate, rng):
+            t += gap
+            if duration is not None and t > duration:
+                break
+            out.append(t)
+            if max_requests is not None and len(out) >= max_requests:
+                break
+        return out
+
+
+class ConstantArrivals(ArrivalProcess):
+    """Fixed gaps: request k arrives at ``k / rate``."""
+
+    name = "constant"
+
+    def gaps(self, rate: float, rng: np.random.Generator) -> Iterator[float]:
+        gap = 1.0 / rate
+        while True:
+            yield gap
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless open-loop traffic: i.i.d. exponential gaps."""
+
+    name = "poisson"
+
+    def gaps(self, rate: float, rng: np.random.Generator) -> Iterator[float]:
+        mean = 1.0 / rate
+        while True:
+            yield float(rng.exponential(mean))
+
+
+class BurstyArrivals(ArrivalProcess):
+    """2-state Markov-modulated Poisson process (calm / burst).
+
+    State sojourns are exponential with means ``calm_sojourns / rate``
+    and ``burst_sojourns / rate`` seconds; within a state, arrivals are
+    Poisson at ``rate * multiplier``.  The defaults solve
+    ``(15 * 0.2 + 4 * 4.0) / (15 + 4) == 1.0``, so the long-run
+    offered rate is exactly the nominal rate.
+    """
+
+    name = "bursty"
+
+    def __init__(
+        self,
+        *,
+        calm_multiplier: float = 0.2,
+        burst_multiplier: float = 4.0,
+        calm_sojourns: float = 15.0,
+        burst_sojourns: float = 4.0,
+    ):
+        if min(calm_multiplier, burst_multiplier) <= 0:
+            raise ValueError("rate multipliers must be positive")
+        self.calm_multiplier = calm_multiplier
+        self.burst_multiplier = burst_multiplier
+        self.calm_sojourns = calm_sojourns
+        self.burst_sojourns = burst_sojourns
+
+    def gaps(self, rate: float, rng: np.random.Generator) -> Iterator[float]:
+        # Competing exponentials: the next event is whichever of
+        # (arrival at the state's rate, state switch) fires first.  A
+        # draw interrupted by a switch is discarded and redrawn at the
+        # new state's rate — exact by memorylessness, and it keeps
+        # short burst sojourns from being swallowed by one calm gap.
+        in_burst = False
+        remaining = float(rng.exponential(self.calm_sojourns / rate))
+        elapsed = 0.0  # time accumulated toward the next arrival
+        while True:
+            mult = self.burst_multiplier if in_burst else self.calm_multiplier
+            candidate = float(rng.exponential(1.0 / (rate * mult)))
+            if candidate < remaining:
+                remaining -= candidate
+                yield elapsed + candidate
+                elapsed = 0.0
+            else:
+                elapsed += remaining
+                in_burst = not in_burst
+                sojourns = (
+                    self.burst_sojourns if in_burst else self.calm_sojourns
+                )
+                remaining = float(rng.exponential(sojourns / rate))
+
+
+#: name -> class, mirrored by ``python -m repro load --arrival``
+ARRIVAL_PROCESSES: Dict[str, Type[ArrivalProcess]] = {
+    cls.name: cls
+    for cls in (ConstantArrivals, PoissonArrivals, BurstyArrivals)
+}
+
+
+def resolve_arrival(name: str) -> ArrivalProcess:
+    """Arrival-process name -> fresh instance (defaults)."""
+    try:
+        return ARRIVAL_PROCESSES[name]()
+    except KeyError:
+        known = ", ".join(sorted(ARRIVAL_PROCESSES))
+        raise ValueError(
+            f"unknown arrival process {name!r}; known: {known}"
+        ) from None

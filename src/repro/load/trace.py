@@ -1,0 +1,213 @@
+"""Replayable load traces: a stable JSONL schema for record/replay.
+
+A trace is one header line plus one line per request:
+
+.. code-block:: text
+
+    {"type": "header", "version": 1, "scenario": "database", "seed": 7,
+     "arrival": "poisson", "rate": 40.0, "deadline": 0.25, "requests": 200}
+    {"type": "request", "i": 0, "at": 0.0132, "kind": "exact",
+     "bits": "01100...", "expected": [64]}
+    {"type": "request", "i": 1, "at": 0.0279, "kind": "batch",
+     "queries": ["0110...", "1011..."], "expected": [[0], []]}
+    {"type": "request", "i": 2, "at": 0.0501, "kind": "wildcard",
+     "bits": "0110...", "mask": "1111...", "expected": []}
+
+Bit payloads are ``0``/``1`` strings (human-diffable, endian-free);
+``at`` is the arrival offset in seconds from trace start; ``expected``
+carries the plaintext ground truth (per-query lists for batches, or
+``null`` when unknown).  JSON floats round-trip exactly (``repr``
+precision), so a saved trace replays the identical request sequence —
+the property ``bench_load.py --quick`` asserts and the committed
+CI trace under ``benchmarks/traces/`` relies on.
+
+``version`` guards schema evolution: loading a trace with an
+unsupported version fails loudly instead of replaying garbage.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..api.requests import BatchSearch, ExactSearch, SearchRequest, WildcardSearch
+from ..verify import VerifyPolicy
+
+TRACE_VERSION = 1
+
+
+def _bits_str(bits: Tuple[int, ...]) -> str:
+    return "".join("1" if b else "0" for b in bits)
+
+
+def _str_bits(text: str) -> Tuple[int, ...]:
+    if not set(text) <= {"0", "1"}:
+        raise ValueError(f"bit string contains non-binary characters: {text!r}")
+    return tuple(1 if c == "1" else 0 for c in text)
+
+
+def request_to_json(request: SearchRequest) -> dict:
+    """Typed request -> the JSONL ``request`` record body."""
+    out: dict = {"verify": request.verify.value}
+    if isinstance(request, WildcardSearch):
+        out.update(
+            kind="wildcard",
+            bits=_bits_str(request.bits),
+            mask=_bits_str(request.mask),
+        )
+    elif isinstance(request, BatchSearch):
+        out.update(
+            kind="batch",
+            queries=[_bits_str(q.bits) for q in request.queries],
+        )
+    elif isinstance(request, ExactSearch):
+        out.update(kind="exact", bits=_bits_str(request.bits))
+    else:
+        raise TypeError(f"cannot serialize request type {type(request).__name__}")
+    return out
+
+
+def request_from_json(obj: dict) -> SearchRequest:
+    """JSONL ``request`` record body -> typed request."""
+    verify = VerifyPolicy(obj.get("verify", "auto"))
+    kind = obj.get("kind")
+    if kind == "exact":
+        return ExactSearch(_str_bits(obj["bits"]), verify=verify)
+    if kind == "wildcard":
+        return WildcardSearch(
+            _str_bits(obj["bits"]), _str_bits(obj["mask"]), verify=verify
+        )
+    if kind == "batch":
+        return BatchSearch(
+            tuple(ExactSearch(_str_bits(q)) for q in obj["queries"]),
+            verify=verify,
+        )
+    raise ValueError(f"unknown request kind {kind!r}")
+
+
+def _expected_to_json(expected: Optional[Tuple]):
+    if expected is None:
+        return None
+    return [list(e) if isinstance(e, tuple) else e for e in expected]
+
+
+def _expected_from_json(value) -> Optional[Tuple]:
+    if value is None:
+        return None
+    return tuple(
+        tuple(e) if isinstance(e, list) else int(e) for e in value
+    )
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduled request: arrival offset, payload, ground truth."""
+
+    index: int
+    at: float
+    request: SearchRequest
+    expected: Optional[Tuple] = None
+    #: per-request relative deadline in seconds (admission-control
+    #: input over the wire); None inherits the trace-level default
+    deadline: Optional[float] = None
+
+
+@dataclass
+class LoadTrace:
+    """A recorded (or generated) open-loop request timeline."""
+
+    scenario: str
+    seed: int
+    arrival: str
+    rate: float
+    events: List[TraceEvent] = field(default_factory=list)
+    deadline: Optional[float] = None
+    version: int = TRACE_VERSION
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.events)
+
+    @property
+    def duration(self) -> float:
+        """Offered-load window: the last scheduled arrival offset."""
+        return self.events[-1].at if self.events else 0.0
+
+    @property
+    def offered_qps(self) -> float:
+        return self.num_requests / self.duration if self.duration > 0 else 0.0
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            header = {
+                "type": "header",
+                "version": self.version,
+                "scenario": self.scenario,
+                "seed": self.seed,
+                "arrival": self.arrival,
+                "rate": self.rate,
+                "deadline": self.deadline,
+                "requests": self.num_requests,
+            }
+            fh.write(json.dumps(header) + "\n")
+            for ev in self.events:
+                record = {
+                    "type": "request",
+                    "i": ev.index,
+                    "at": ev.at,
+                    **request_to_json(ev.request),
+                    "expected": _expected_to_json(ev.expected),
+                }
+                if ev.deadline is not None:
+                    record["deadline"] = ev.deadline
+                fh.write(json.dumps(record) + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "LoadTrace":
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = [line for line in fh if line.strip()]
+        if not lines:
+            raise ValueError(f"trace file {path!r} is empty")
+        header = json.loads(lines[0])
+        if header.get("type") != "header":
+            raise ValueError(
+                f"trace file {path!r} does not start with a header record"
+            )
+        version = int(header.get("version", -1))
+        if version != TRACE_VERSION:
+            raise ValueError(
+                f"trace file {path!r} has schema version {version}; "
+                f"this build reads version {TRACE_VERSION}"
+            )
+        events: List[TraceEvent] = []
+        for line in lines[1:]:
+            obj = json.loads(line)
+            if obj.get("type") != "request":
+                raise ValueError(f"unexpected record type {obj.get('type')!r}")
+            events.append(
+                TraceEvent(
+                    index=int(obj["i"]),
+                    at=float(obj["at"]),
+                    request=request_from_json(obj),
+                    expected=_expected_from_json(obj.get("expected")),
+                    deadline=obj.get("deadline"),
+                )
+            )
+        declared = header.get("requests")
+        if declared is not None and int(declared) != len(events):
+            raise ValueError(
+                f"trace file {path!r} declares {declared} requests "
+                f"but contains {len(events)}"
+            )
+        return cls(
+            scenario=header.get("scenario", ""),
+            seed=int(header.get("seed", 0)),
+            arrival=header.get("arrival", ""),
+            rate=float(header.get("rate", 0.0)),
+            events=events,
+            deadline=header.get("deadline"),
+            version=version,
+        )

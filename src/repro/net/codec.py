@@ -516,6 +516,9 @@ class ServiceStats:
     dead_shard_degradations: int
     #: rendered ServeReport.summary_table() of the last batch ("" if none)
     report_text: str
+    #: machine-readable ServeReport.to_json() of the last batch ("" if
+    #: none) — the artifact surface bench_load and dashboards parse
+    report_json: str = ""
 
 
 def encode_stats(stats: ServiceStats) -> bytes:
@@ -530,6 +533,7 @@ def encode_stats(stats: ServiceStats) -> bytes:
     w.u64(stats.worker_restarts).u64(stats.dead_shard_degradations)
     w.blob(stats.executor.encode("utf-8"))
     w.blob(stats.report_text.encode("utf-8"))
+    w.blob(stats.report_json.encode("utf-8"))
     return w.bytes()
 
 
@@ -554,6 +558,7 @@ def decode_stats(payload: bytes) -> ServiceStats:
         dead_shard_degradations=r.u64(),
         executor=r.blob().decode("utf-8"),
         report_text=r.blob().decode("utf-8"),
+        report_json=r.blob().decode("utf-8"),
     )
     r.done()
     return stats

@@ -241,10 +241,11 @@ class AsyncSearchService:
             throughput = report.throughput_qps
             cache_hit_rate = report.cache.hit_rate
             text = report.summary_table()
+            report_json = report.to_json()
             served = report.num_queries
         else:
             p50 = p95 = p99 = throughput = cache_hit_rate = 0.0
-            text = ""
+            text = report_json = ""
             served = 0
         # Worker-health surface: only the sharded engine has an
         # executor notion; other engines report the neutral defaults.
@@ -271,6 +272,7 @@ class AsyncSearchService:
             worker_restarts=worker_restarts,
             dead_shard_degradations=degradations,
             report_text=text,
+            report_json=report_json,
         )
 
     def _welcome(self) -> codec.Welcome:

@@ -482,6 +482,7 @@ class ShardedSearchEngine:
             encrypted_db_bytes=self.db.serialized_bytes,
             executor=exec_kind,
             worker_restarts=batch_crashes[0],
+            sheds=self.scheduler.sheds,
         )
 
     # -- executor machinery ----------------------------------------------

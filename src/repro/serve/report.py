@@ -10,12 +10,17 @@ the paper-figure reproductions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
 
+from ..core.matcher import MatchCandidate
 from ..core.pipeline import SearchReport
 from ..eval.tables import format_bytes, format_table, percentile
 from .cache import CacheStats
+
+#: schema guard for the machine-readable serialization
+SERVE_REPORT_VERSION = 1
 
 
 @dataclass
@@ -68,6 +73,10 @@ class ServeReport:
     #: worker crashes survived during this batch (each one a single-shard
     #: restart + task retry; the batch still completed)
     worker_restarts: int = 0
+    #: admission-control sheds in the scheduler's accounting at batch
+    #: end (cumulative over the engine's life; recorded by the network
+    #: front end's oldest-deadline policy, 0 for purely in-process use)
+    sheds: int = 0
 
     @property
     def dead_shards(self) -> int:
@@ -120,6 +129,7 @@ class ServeReport:
             ("shards x workers", f"{self.num_shards} x {self.num_workers}"),
             ("executor", self.executor),
             ("worker restarts", self.worker_restarts),
+            ("sheds (admission)", self.sheds),
             ("encrypted DB", format_bytes(self.encrypted_db_bytes)),
             ("wall time", f"{self.wall_seconds * 1e3:.1f} ms"),
             ("throughput", f"{self.throughput_qps:.1f} q/s"),
@@ -150,6 +160,105 @@ class ServeReport:
             f"{pctl(50) * 1e3:.2f} / {pctl(95) * 1e3:.2f} / "
             f"{pctl(99) * 1e3:.2f} ms"
         )
+
+    # -- machine-readable artifact ---------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Plain-JSON-types dict: the full report, executor/sheds/
+        restarts and per-shard stats included (bench artifacts + the
+        STATS frame's ``report_json`` field)."""
+        return {
+            "version": SERVE_REPORT_VERSION,
+            "reports": [
+                {
+                    "matches": list(r.matches),
+                    "candidates": [asdict(c) for c in r.candidates],
+                    "hom_additions": r.hom_additions,
+                    "num_variants": r.num_variants,
+                    "encrypted_db_bytes": r.encrypted_db_bytes,
+                }
+                for r in self.reports
+            ],
+            "num_shards": self.num_shards,
+            "num_workers": self.num_workers,
+            "wall_seconds": self.wall_seconds,
+            "latencies": list(self.latencies),
+            "deduplicated_hits": self.deduplicated_hits,
+            "cache": {
+                "capacity": self.cache.capacity,
+                "size": self.cache.size,
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+            },
+            "shards": [asdict(s) for s in self.shards],
+            "queue_depth_max": self.queue_depth_max,
+            "queue_depth_mean": self.queue_depth_mean,
+            "modeled_makespan": self.modeled_makespan,
+            "modeled_latencies": {
+                str(k): v for k, v in self.modeled_latencies.items()
+            },
+            "encrypted_db_bytes": self.encrypted_db_bytes,
+            "executor": self.executor,
+            "worker_restarts": self.worker_restarts,
+            "sheds": self.sheds,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, obj: Dict) -> "ServeReport":
+        version = int(obj.get("version", -1))
+        if version != SERVE_REPORT_VERSION:
+            raise ValueError(
+                f"serve report version {version} unsupported "
+                f"(this build reads {SERVE_REPORT_VERSION})"
+            )
+        reports = [
+            SearchReport(
+                matches=list(r["matches"]),
+                candidates=[
+                    MatchCandidate(**c) for c in r.get("candidates", [])
+                ],
+                hom_additions=int(r["hom_additions"]),
+                num_variants=int(r["num_variants"]),
+                encrypted_db_bytes=int(r["encrypted_db_bytes"]),
+            )
+            for r in obj["reports"]
+        ]
+        cache = obj["cache"]
+        return cls(
+            reports=reports,
+            num_shards=int(obj["num_shards"]),
+            num_workers=int(obj["num_workers"]),
+            wall_seconds=float(obj["wall_seconds"]),
+            latencies=[float(v) for v in obj["latencies"]],
+            deduplicated_hits=int(obj["deduplicated_hits"]),
+            cache=CacheStats(
+                capacity=int(cache["capacity"]),
+                size=int(cache["size"]),
+                hits=int(cache["hits"]),
+                misses=int(cache["misses"]),
+                evictions=int(cache["evictions"]),
+            ),
+            shards=[ShardStats(**s) for s in obj.get("shards", [])],
+            queue_depth_max=int(obj["queue_depth_max"]),
+            queue_depth_mean=float(obj["queue_depth_mean"]),
+            modeled_makespan=float(obj["modeled_makespan"]),
+            modeled_latencies={
+                int(k): float(v)
+                for k, v in obj.get("modeled_latencies", {}).items()
+            },
+            encrypted_db_bytes=int(obj["encrypted_db_bytes"]),
+            executor=obj.get("executor", "thread"),
+            worker_restarts=int(obj.get("worker_restarts", 0)),
+            sheds=int(obj.get("sheds", 0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServeReport":
+        return cls.from_dict(json.loads(text))
 
     def shard_table(self) -> str:
         rows = []

@@ -1,0 +1,34 @@
+"""Deterministic RNG coercion shared by workloads and the load harness.
+
+Every generator in :mod:`repro.workloads` and every scenario in
+:mod:`repro.load` routes its randomness through :func:`as_generator`,
+so a plain integer seed, a seed *sequence* (tuple — handy for deriving
+independent streams from one base seed) or an already-built
+:class:`numpy.random.Generator` all work interchangeably — and the
+same seed always reproduces the same workload/trace bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[int, Sequence[int], np.random.Generator]
+
+
+def as_generator(seed: SeedLike = 0) -> np.random.Generator:
+    """Coerce an int seed / seed tuple / Generator into a Generator.
+
+    Unlike ``np.random.default_rng()``, a bare call is *not* allowed to
+    fall back to OS entropy: replayability is the point, so the default
+    seed is 0 and ``None`` is rejected.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        raise ValueError(
+            "seed must be an int, a sequence of ints or a Generator; "
+            "None (OS entropy) would make the stream unreplayable"
+        )
+    return np.random.default_rng(seed)

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..core.client import ClientConfig
 from ..core.pipeline import SecureStringMatchPipeline
+from ..utils.rng import SeedLike, as_generator
 
 
 @dataclass
@@ -74,8 +75,8 @@ class BiometricWorkloadGenerator:
     controls in practice, unlike genomic offsets.
     """
 
-    def __init__(self, seed: int = 0):
-        self.rng = np.random.default_rng(seed)
+    def __init__(self, seed: SeedLike = 0):
+        self.rng = as_generator(seed)
 
     def generate(self, num_subjects: int, template_bits: int = 256) -> BiometricGallery:
         if template_bits % 16:
@@ -120,9 +121,17 @@ class SecureBiometricMatcher:
     'subject-0002'
     """
 
-    def __init__(self, gallery: BiometricGallery, config: ClientConfig):
+    def __init__(
+        self,
+        gallery: BiometricGallery,
+        config: ClientConfig,
+        *,
+        search_kernel: Optional[str] = None,
+    ):
         self.gallery = gallery
-        self.pipeline = SecureStringMatchPipeline(config)
+        self.pipeline = SecureStringMatchPipeline(
+            config, search_kernel=search_kernel
+        )
         self.pipeline.outsource_database(gallery.concatenated_bits())
 
     def authenticate(self, probe: np.ndarray) -> AuthenticationResult:

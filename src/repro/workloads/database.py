@@ -18,6 +18,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..utils.bits import bytes_to_bits
+from ..utils.rng import SeedLike, as_generator
 
 KEY_ALPHABET = string.ascii_lowercase + string.digits
 
@@ -83,8 +84,8 @@ class QueryMix:
 class DatabaseWorkloadGenerator:
     """Synthesizes key-value stores and query batches."""
 
-    def __init__(self, seed: int = 0):
-        self.rng = np.random.default_rng(seed)
+    def __init__(self, seed: SeedLike = 0):
+        self.rng = as_generator(seed)
 
     def _random_key(self, length: int) -> str:
         idx = self.rng.integers(0, len(KEY_ALPHABET), size=length)

@@ -16,6 +16,8 @@ from typing import List, Tuple
 
 import numpy as np
 
+from ..utils.rng import SeedLike, as_generator
+
 #: 2-bit base encoding, fixed by convention (A=00, C=01, G=10, T=11).
 BASE_TO_BITS = {"A": (0, 0), "C": (0, 1), "G": (1, 0), "T": (1, 1)}
 BITS_TO_BASE = {v: k for k, v in BASE_TO_BITS.items()}
@@ -46,8 +48,9 @@ def bits_to_sequence(bits: np.ndarray) -> str:
     )
 
 
-def random_genome(num_bases: int, rng: np.random.Generator) -> str:
-    indices = rng.integers(0, 4, size=num_bases)
+def random_genome(num_bases: int, rng: SeedLike) -> str:
+    """``rng`` accepts a Generator or a deterministic int seed."""
+    indices = as_generator(rng).integers(0, 4, size=num_bases)
     return "".join(BASES[i] for i in indices)
 
 
@@ -93,8 +96,8 @@ class DnaWorkloadGenerator:
     this the representative case.
     """
 
-    def __init__(self, seed: int = 0):
-        self.rng = np.random.default_rng(seed)
+    def __init__(self, seed: SeedLike = 0):
+        self.rng = as_generator(seed)
 
     def generate(
         self,

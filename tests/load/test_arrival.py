@@ -1,0 +1,94 @@
+"""Arrival-process determinism, rate accuracy, and bounding."""
+
+import numpy as np
+import pytest
+
+from repro.load import (
+    ARRIVAL_PROCESSES,
+    BurstyArrivals,
+    ConstantArrivals,
+    PoissonArrivals,
+    resolve_arrival,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(ARRIVAL_PROCESSES))
+    def test_same_seed_same_timeline(self, name):
+        a = resolve_arrival(name).times(50.0, max_requests=200, seed=7)
+        b = resolve_arrival(name).times(50.0, max_requests=200, seed=7)
+        assert a == b
+
+    @pytest.mark.parametrize("name", ["poisson", "bursty"])
+    def test_different_seeds_differ(self, name):
+        a = resolve_arrival(name).times(50.0, max_requests=50, seed=1)
+        b = resolve_arrival(name).times(50.0, max_requests=50, seed=2)
+        assert a != b
+
+    def test_tuple_seed_accepted(self):
+        a = PoissonArrivals().times(10.0, max_requests=20, seed=(3, 0x5EED))
+        b = PoissonArrivals().times(10.0, max_requests=20, seed=(3, 0x5EED))
+        assert a == b
+
+
+class TestRates:
+    def test_constant_gaps_are_exact(self):
+        times = ConstantArrivals().times(20.0, max_requests=10)
+        assert times == pytest.approx([(k + 1) / 20.0 for k in range(10)])
+
+    def test_poisson_long_run_rate(self):
+        times = PoissonArrivals().times(100.0, max_requests=5000, seed=3)
+        achieved = len(times) / times[-1]
+        assert achieved == pytest.approx(100.0, rel=0.1)
+
+    def test_bursty_long_run_rate_near_nominal(self):
+        # calm 0.2x for 15 sojourns vs burst 4x for 4 averages to
+        # exactly 1.0x nominal in the long run
+        times = BurstyArrivals().times(100.0, max_requests=20000, seed=5)
+        achieved = len(times) / times[-1]
+        assert achieved == pytest.approx(100.0, rel=0.1)
+
+    def test_bursty_actually_bursts(self):
+        gaps = np.diff(BurstyArrivals().times(100.0, max_requests=5000, seed=9))
+        # burst-state gaps cluster well below the calm-state mean
+        assert np.percentile(gaps, 10) < 0.5 * float(np.mean(gaps))
+        assert np.percentile(gaps, 90) > 2.0 * float(np.mean(gaps))
+
+
+class TestBounds:
+    def test_max_requests_bound(self):
+        assert len(PoissonArrivals().times(10.0, max_requests=17)) == 17
+
+    def test_duration_bound(self):
+        times = ConstantArrivals().times(10.0, duration=1.0)
+        assert len(times) == 10
+        assert all(t <= 1.0 for t in times)
+
+    def test_both_bounds_take_tighter(self):
+        times = ConstantArrivals().times(10.0, duration=1.0, max_requests=3)
+        assert len(times) == 3
+
+    def test_unbounded_rejected(self):
+        with pytest.raises(ValueError, match="bound"):
+            PoissonArrivals().times(10.0)
+
+    @pytest.mark.parametrize("rate", [0.0, -1.0])
+    def test_nonpositive_rate_rejected(self, rate):
+        with pytest.raises(ValueError, match="positive"):
+            PoissonArrivals().times(rate, max_requests=1)
+
+    def test_bursty_multipliers_validated(self):
+        with pytest.raises(ValueError, match="positive"):
+            BurstyArrivals(calm_multiplier=0.0)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert set(ARRIVAL_PROCESSES) == {"constant", "poisson", "bursty"}
+
+    def test_resolve_returns_fresh_instances(self):
+        assert resolve_arrival("poisson") is not resolve_arrival("poisson")
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="bursty"):
+            resolve_arrival("pareto")

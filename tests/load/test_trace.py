@@ -1,0 +1,136 @@
+"""Trace JSONL schema: request codec round-trips and loud failures."""
+
+import json
+
+import pytest
+
+from repro.api.requests import BatchSearch, ExactSearch, WildcardSearch
+from repro.load import (
+    SCENARIO_REGISTRY,
+    LoadTrace,
+    PoissonArrivals,
+    TraceEvent,
+    generate_trace,
+)
+from repro.load.trace import request_from_json, request_to_json
+from repro.verify import VerifyPolicy
+
+
+class TestRequestCodec:
+    def test_exact_roundtrip(self):
+        request = ExactSearch.from_bits([1, 0, 1, 1], verify=VerifyPolicy.SKIP)
+        assert request_from_json(request_to_json(request)) == request
+
+    def test_wildcard_roundtrip(self):
+        request = WildcardSearch((1, 0, 1, 0), (1, 1, 0, 1))
+        assert request_from_json(request_to_json(request)) == request
+
+    def test_batch_roundtrip(self):
+        request = BatchSearch(
+            (ExactSearch.from_bits([1, 0]), ExactSearch.from_bits([0, 1, 1])),
+            verify=VerifyPolicy.VERIFY,
+        )
+        assert request_from_json(request_to_json(request)) == request
+
+    def test_bits_serialized_as_01_strings(self):
+        obj = request_to_json(ExactSearch.from_bits([1, 0, 1]))
+        assert obj["bits"] == "101"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown request kind"):
+            request_from_json({"kind": "regex", "bits": "101"})
+
+    def test_corrupt_bit_string_rejected(self):
+        with pytest.raises(ValueError, match="non-binary"):
+            request_from_json({"kind": "exact", "bits": "10x"})
+
+
+class TestSaveLoad:
+    def _trace(self, seed=7):
+        scenario = SCENARIO_REGISTRY.create("readmapper", seed=seed)
+        return generate_trace(
+            scenario, PoissonArrivals(), 40.0, max_requests=8, deadline=0.5
+        )
+
+    def test_roundtrip_is_exact(self, tmp_path):
+        trace = self._trace()
+        path = tmp_path / "t.jsonl"
+        trace.save(path)
+        got = LoadTrace.load(path)
+        assert (got.scenario, got.seed, got.arrival, got.rate) == (
+            trace.scenario, trace.seed, trace.arrival, trace.rate,
+        )
+        assert got.deadline == trace.deadline
+        # JSON floats round-trip exactly; requests and oracles verbatim
+        assert [(e.index, e.at, e.request, e.expected) for e in got.events] == [
+            (e.index, e.at, e.request, e.expected) for e in trace.events
+        ]
+
+    def test_mixed_request_kinds_survive(self, tmp_path):
+        trace = self._trace()
+        kinds = {type(e.request).__name__ for e in trace.events}
+        assert kinds == {"BatchSearch", "WildcardSearch"}
+        path = tmp_path / "t.jsonl"
+        trace.save(path)
+        assert {
+            type(e.request).__name__ for e in LoadTrace.load(path).events
+        } == kinds
+
+    def test_per_event_deadline_roundtrip(self, tmp_path):
+        trace = LoadTrace(
+            scenario="dna", seed=0, arrival="constant", rate=1.0,
+            events=[
+                TraceEvent(0, 0.25, ExactSearch.from_bits([1, 0]), (3,), 0.1)
+            ],
+        )
+        path = tmp_path / "t.jsonl"
+        trace.save(path)
+        got = LoadTrace.load(path)
+        assert got.events[0].deadline == 0.1
+        assert got.events[0].expected == (3,)
+
+    def test_offered_qps(self):
+        trace = self._trace()
+        assert trace.offered_qps == pytest.approx(
+            trace.num_requests / trace.events[-1].at
+        )
+
+
+class TestLoudFailures:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            LoadTrace.load(path)
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"type": "request", "i": 0, "at": 0.0}\n')
+        with pytest.raises(ValueError, match="header"):
+            LoadTrace.load(path)
+
+    def test_wrong_version(self, tmp_path):
+        trace = LoadTrace(scenario="dna", seed=0, arrival="poisson", rate=1.0)
+        path = tmp_path / "t.jsonl"
+        trace.save(path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["version"] = 99
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(ValueError, match="version 99"):
+            LoadTrace.load(path)
+
+    def test_truncated_trace_detected(self, tmp_path):
+        trace = self._full_trace()
+        path = tmp_path / "t.jsonl"
+        trace.save(path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match="declares"):
+            LoadTrace.load(path)
+
+    def _full_trace(self):
+        scenario = SCENARIO_REGISTRY.create("database", seed=1)
+        return generate_trace(
+            scenario, PoissonArrivals(), 10.0, max_requests=4
+        )

@@ -317,6 +317,7 @@ def test_stats_roundtrip():
         worker_restarts=2,
         dead_shard_degradations=1,
         report_text="== serving batch report ==\n...",
+        report_json='{"version": 1, "sheds": 4}',
     )
     assert codec.decode_stats(codec.encode_stats(stats)) == stats
 

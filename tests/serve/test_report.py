@@ -125,3 +125,113 @@ class TestSchedulerShedAccounting:
         result = scheduler.simulate([], ciphertext_bytes=0)
         assert result.makespan == 0.0
         assert scheduler.sheds == 5
+
+
+class TestServeReportJsonRoundTrip:
+    """The STATS frame's report_json field and bench artifacts rely on
+    ServeReport.to_json/from_json preserving everything."""
+
+    def _full_report(self) -> ServeReport:
+        from repro.core.matcher import MatchCandidate
+        from repro.core.pipeline import SearchReport
+
+        return ServeReport(
+            reports=[
+                SearchReport(
+                    matches=[160, 512],
+                    candidates=[
+                        MatchCandidate(
+                            offset=160, phase=0, variant_index=0,
+                            verified=True,
+                        ),
+                        MatchCandidate(
+                            offset=512, phase=0, variant_index=3,
+                            verified=None,
+                        ),
+                    ],
+                    hom_additions=128,
+                    num_variants=16,
+                    encrypted_db_bytes=1 << 20,
+                ),
+                SearchReport(
+                    matches=[],
+                    candidates=[],
+                    hom_additions=64,
+                    num_variants=16,
+                    encrypted_db_bytes=1 << 20,
+                ),
+            ],
+            num_shards=2,
+            num_workers=2,
+            wall_seconds=0.125,
+            latencies=[0.01, 0.02],
+            deduplicated_hits=1,
+            cache=CacheStats(capacity=8, size=3, hits=5, misses=3, evictions=1),
+            shards=[_shard(0, restarts=2), _shard(1, alive=False)],
+            queue_depth_max=4,
+            queue_depth_mean=1.5,
+            modeled_makespan=0.05,
+            modeled_latencies={0: 0.01, 1: 0.04},
+            encrypted_db_bytes=1 << 21,
+            executor="process",
+            worker_restarts=2,
+            sheds=7,
+        )
+
+    def test_roundtrip_identity(self):
+        report = self._full_report()
+        got = ServeReport.from_json(report.to_json())
+        assert got == report
+
+    def test_operational_fields_survive(self):
+        got = ServeReport.from_json(self._full_report().to_json())
+        assert (got.executor, got.worker_restarts, got.sheds) == (
+            "process", 2, 7,
+        )
+        assert got.shards[0].restarts == 2
+        assert not got.shards[1].alive
+        assert got.modeled_latencies == {0: 0.01, 1: 0.04}
+
+    def test_json_is_plain_types(self):
+        import json
+
+        obj = json.loads(self._full_report().to_json())
+        assert obj["version"] == 1
+        assert obj["sheds"] == 7
+        assert obj["reports"][0]["matches"] == [160, 512]
+
+    def test_version_guard(self):
+        import json
+
+        obj = json.loads(self._full_report().to_json())
+        obj["version"] = 9
+        try:
+            ServeReport.from_dict(obj)
+        except ValueError as exc:
+            assert "version 9" in str(exc)
+        else:
+            raise AssertionError("version guard did not fire")
+
+    def test_live_engine_report_roundtrips(self):
+        import numpy as np
+
+        import repro
+        from repro.he import BFVParams
+        from repro.utils.bits import random_bits
+
+        rng = np.random.default_rng(5)
+        db = random_bits(4096, rng)
+        q = random_bits(32, rng)
+        db[320:352] = q
+        with repro.open_session(
+            "bfv-sharded",
+            params=BFVParams.test_small(64),
+            num_shards=2,
+            key_seed=5,
+            db_bits=db,
+        ) as session:
+            session.search_batch([q, q])
+            report = session.engine.last_serve_report
+        got = ServeReport.from_json(report.to_json())
+        assert got.matches_per_query() == report.matches_per_query()
+        assert got == report

@@ -1,0 +1,125 @@
+"""Workload parity across search kernels and shard executors.
+
+Every scenario stream in :mod:`repro.load` must produce identical
+matches whichever ``search_kernel`` (fused / object) and ``executor``
+(thread / process) configuration serves it — the fused kernels and the
+shared-memory process pool are performance paths, never semantic ones.
+The workload wrappers' ``search_kernel=`` knob gets the same treatment
+directly.
+"""
+
+import itertools
+
+import pytest
+
+import repro
+from repro.core import ClientConfig
+from repro.he import BFVParams
+from repro.load import SCENARIO_REGISTRY
+from repro.workloads.biometric import (
+    BiometricWorkloadGenerator,
+    SecureBiometricMatcher,
+)
+from repro.workloads.dna import DnaWorkloadGenerator
+from repro.workloads.readmapper import SecureReadMapper
+
+PARAMS = BFVParams.test_small(64)
+MATRIX = list(itertools.product(["fused", "object"], ["thread", "process"]))
+
+
+def _scenario_results(key, kernel, executor, n):
+    scenario = SCENARIO_REGISTRY.create(key, seed=13)
+    with repro.open_session(
+        "bfv-sharded",
+        params=PARAMS,
+        num_shards=2,
+        key_seed=13,
+        search_kernel=kernel,
+        executor=executor,
+        db_bits=scenario.db_bits(),
+    ) as session:
+        out = []
+        for item in itertools.islice(scenario.requests(), n):
+            result = session.search(item.request)
+            if hasattr(result, "results"):  # batch
+                out.append(tuple(tuple(r.matches) for r in result.results))
+            else:
+                out.append(tuple(result.matches))
+        return out
+
+
+class TestScenarioParityMatrix:
+    """Same scenario stream, every kernel x executor cell, same matches."""
+
+    @pytest.mark.parametrize("kernel,executor", MATRIX)
+    def test_database_matches_oracle(self, kernel, executor):
+        scenario = SCENARIO_REGISTRY.create("database", seed=13)
+        expected = [
+            item.expected
+            for item in itertools.islice(scenario.requests(), 4)
+        ]
+        got = _scenario_results("database", kernel, executor, 4)
+        assert got == expected
+
+    @pytest.mark.parametrize("kernel,executor", MATRIX)
+    def test_readmapper_batches_and_wildcards(self, kernel, executor):
+        # requests 1-4 cover three seed batches plus one wildcard read
+        scenario = SCENARIO_REGISTRY.create("readmapper", seed=13)
+        expected = [
+            item.expected
+            for item in itertools.islice(scenario.requests(), 4)
+        ]
+        got = _scenario_results("readmapper", kernel, executor, 4)
+        assert got == expected
+
+    def test_dna_parity_across_kernels(self):
+        runs = {
+            kernel: _scenario_results("dna", kernel, "thread", 5)
+            for kernel in ("fused", "object")
+        }
+        assert runs["fused"] == runs["object"]
+
+
+class TestWorkloadWrapperKernelKnob:
+    """The search_kernel= kwarg on the workload wrappers is semantics-free."""
+
+    def test_read_mapper_parity(self):
+        workload = DnaWorkloadGenerator(seed=5).generate(
+            num_bases=320, read_length_bases=16, num_reads=3,
+            chunk_aligned=True,
+        )
+        verdicts = {}
+        for kernel in ("fused", "object"):
+            mapper = SecureReadMapper(
+                workload.genome,
+                ClientConfig(PARAMS),
+                seed_bases=8,
+                search_kernel=kernel,
+            )
+            verdicts[kernel] = [
+                mapper.verify(mapper.map_read(read.sequence))
+                for read in workload.reads
+            ]
+        assert verdicts["fused"] == verdicts["object"]
+        assert verdicts["fused"] == [
+            read.position_bases for read in workload.reads
+        ]
+
+    def test_biometric_matcher_parity(self):
+        gallery = BiometricWorkloadGenerator(seed=5).generate(
+            num_subjects=4, template_bits=64
+        )
+        outcomes = {}
+        for kernel in ("fused", "object"):
+            matcher = SecureBiometricMatcher(
+                gallery, ClientConfig(PARAMS), search_kernel=kernel
+            )
+            outcomes[kernel] = [
+                (
+                    matcher.authenticate(e.template).accepted,
+                    matcher.authenticate(e.template).subject_id,
+                )
+                for e in gallery.enrollees
+            ]
+        assert outcomes["fused"] == outcomes["object"]
+        assert all(accepted for accepted, _ in outcomes["fused"])
