@@ -31,15 +31,18 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import math
 import sys
 import time
 
 from _util import OUT_DIR, emit
 
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.he import BFVParams
 from repro.load import (
     SCENARIO_REGISTRY,
+    BurstyArrivals,
     LoadReport,
     LoadTrace,
     PoissonArrivals,
@@ -49,11 +52,18 @@ from repro.load import (
     run_trace,
 )
 from repro.net import Client, ServiceThread
+from repro.serve import AdmissionController
 
 NUM_SHARDS = 2
 MAX_IN_FLIGHT = 16
 OVERLOAD_FACTOR = 5.0
 HALF_FACTOR = 0.4
+#: p99 budget for the resilience lanes: generous against the probed
+#: closed-loop latency, floored so scheduler jitter can't fail CI
+BUDGET_FACTOR = 25.0
+BUDGET_FLOOR_S = 1.0
+#: shed + admit-rejected fraction the MMPP burst lane may not exceed
+REJECT_RATE_CAP = 0.30
 
 
 def _trace_signature(trace: LoadTrace):
@@ -64,6 +74,147 @@ def _trace_signature(trace: LoadTrace):
         (ev.index, ev.at, request_to_json(ev.request), ev.expected)
         for ev in trace.events
     ]
+
+
+def resilience_lanes(
+    scenario_key: str,
+    seed: int,
+    quick: bool,
+    sustainable: float,
+    mean_latency: float,
+    failures: list,
+):
+    """The two resilience lanes behind ``benchmarks/out/chaos_slo.*``.
+
+    * **mmpp-burst** — admission-enabled service under a 2-state MMPP
+      (4x bursts) at nominal sustainable rate, retrying client.  Gates:
+      exact 4-term accounting, zero failures/mismatches, p99 of the
+      requests that completed within the admission budget, and a
+      combined shed + admit-rejected rate under ``REJECT_RATE_CAP``.
+    * **chaos-replay** — a fixed fault schedule (worker crash on shard 1,
+      a server shed storm, a client-side connection drop) replayed over
+      a Poisson trace.  Every scheduled fault must actually fire, and
+      the retrying client must still finish with zero failures and zero
+      oracle mismatches.
+    """
+    n_burst = 40 if quick else 120
+    n_chaos = 40 if quick else 100
+    budget = max(BUDGET_FLOOR_S, BUDGET_FACTOR * mean_latency)
+    retry = RetryPolicy(max_attempts=4, seed=seed)
+
+    # -- mmpp-burst lane --------------------------------------------------
+    scenario = SCENARIO_REGISTRY.create(scenario_key, seed=seed)
+    with ServiceThread(
+        "bfv-sharded",
+        params=BFVParams.test_small(64),
+        num_shards=NUM_SHARDS,
+        key_seed=seed,
+        executor="process",
+        max_in_flight=MAX_IN_FLIGHT,
+        admission=AdmissionController(budget),
+    ) as service:
+        client = Client(service.address, pool_size=1)
+        target = RemoteTarget(client, owns_client=True, retry=retry)
+        try:
+            scenario.check(target.capabilities, target.describe())
+            target.outsource(scenario.db_bits())
+            target.submit(
+                generate_trace(
+                    scenario, PoissonArrivals(), 50.0, max_requests=1
+                ).events[0].request,
+                None,
+            ).result()  # warm the worker pool
+            trace_burst = generate_trace(
+                scenario, BurstyArrivals(), sustainable, max_requests=n_burst
+            )
+            slo_burst = ScenarioSlo.from_run(
+                trace_burst, run_trace(trace_burst, target)
+            )
+        finally:
+            target.close()
+
+    if not slo_burst.balanced:
+        failures.append(
+            f"mmpp-burst: offered {slo_burst.offered} != completed "
+            f"{slo_burst.completed} + shed {slo_burst.shed} + admit_rejected "
+            f"{slo_burst.admit_rejected} + failed {slo_burst.failed}"
+        )
+    if slo_burst.failed:
+        failures.append(f"mmpp-burst: {slo_burst.failed} request(s) failed")
+    if slo_burst.mismatches:
+        failures.append(
+            f"mmpp-burst: {slo_burst.mismatches} oracle mismatch(es)"
+        )
+    if slo_burst.p99_ms > budget * 1e3:
+        failures.append(
+            f"mmpp-burst: p99 {slo_burst.p99_ms:.0f} ms over the "
+            f"{budget * 1e3:.0f} ms admission budget"
+        )
+    if slo_burst.reject_rate >= REJECT_RATE_CAP:
+        failures.append(
+            f"mmpp-burst: shed+admit-reject rate {slo_burst.reject_rate:.0%} "
+            f">= {REJECT_RATE_CAP:.0%} cap"
+        )
+
+    # -- chaos-replay lane ------------------------------------------------
+    scenario = SCENARIO_REGISTRY.create(scenario_key, seed=seed)
+    chaos_plan = (
+        FaultPlan()
+        .worker_crash(2, shard=1)
+        .shed_storm(n_chaos // 3, count=3)
+        .connection_drop(n_chaos // 2, side="client")
+    )
+    client_injector = FaultInjector(chaos_plan)
+    with ServiceThread(
+        "bfv-sharded",
+        params=BFVParams.test_small(64),
+        num_shards=NUM_SHARDS,
+        key_seed=seed,
+        executor="process",
+        max_in_flight=MAX_IN_FLIGHT,
+        admission=AdmissionController(budget),
+        fault_plan=chaos_plan,
+    ) as service:
+        client = Client(service.address, pool_size=1)
+        target = RemoteTarget(client, owns_client=True, retry=retry)
+        try:
+            target.outsource(scenario.db_bits())
+            trace_chaos = generate_trace(
+                scenario, PoissonArrivals(), sustainable, max_requests=n_chaos
+            )
+            slo_chaos = ScenarioSlo.from_run(
+                trace_chaos,
+                run_trace(trace_chaos, target, injector=client_injector),
+            )
+            server_fired = service.service.fault_injector.summary()
+            stats = target.stats()
+        finally:
+            target.close()
+
+    if not slo_chaos.balanced:
+        failures.append(
+            f"chaos-replay: offered {slo_chaos.offered} != completed "
+            f"{slo_chaos.completed} + shed {slo_chaos.shed} + admit_rejected "
+            f"{slo_chaos.admit_rejected} + failed {slo_chaos.failed}"
+        )
+    if slo_chaos.failed:
+        failures.append(f"chaos-replay: {slo_chaos.failed} request(s) failed")
+    if slo_chaos.mismatches:
+        failures.append(
+            f"chaos-replay: {slo_chaos.mismatches} oracle mismatch(es) "
+            f"(faults corrupted a served result)"
+        )
+    fired = dict(server_fired)
+    for fault in client_injector.fired:
+        fired[fault.event.kind] = fired.get(fault.event.kind, 0) + 1
+    for kind in ("worker_crash", "shed_storm", "conn_drop"):
+        if not fired.get(kind):
+            failures.append(
+                f"chaos-replay: scheduled {kind} never fired "
+                f"(fired: {fired or 'nothing'})"
+            )
+
+    return slo_burst, slo_chaos, stats, budget, fired
 
 
 def run(quick: bool, seed: int) -> int:
@@ -144,7 +295,8 @@ def run(quick: bool, seed: int) -> int:
         if not slo.balanced:
             failures.append(
                 f"{lane}: offered {slo.offered} != completed {slo.completed}"
-                f" + shed {slo.shed} + failed {slo.failed}"
+                f" + shed {slo.shed} + admit_rejected {slo.admit_rejected}"
+                f" + failed {slo.failed}"
             )
         if slo.failed:
             failures.append(f"{lane}: {slo.failed} request(s) failed")
@@ -182,6 +334,31 @@ def run(quick: bool, seed: int) -> int:
     emit("load_slo", report.table())
     (OUT_DIR / "load_slo.json").write_text(report.to_json() + "\n")
 
+    # -- resilience lanes: MMPP burst + seeded chaos replay ---------------
+    slo_burst, slo_chaos, chaos_stats, budget, fired = resilience_lanes(
+        "database", seed, quick, sustainable, mean_latency, failures
+    )
+    chaos_report = LoadReport(
+        target=target_desc,
+        arrival="bursty+poisson",
+        rate=sustainable,
+        seed=seed,
+        scenarios=[
+            dataclasses.replace(slo_burst, scenario="database mmpp-burst"),
+            dataclasses.replace(slo_chaos, scenario="database chaos-replay"),
+        ],
+        executor=str(chaos_stats.get("executor", "")),
+        worker_restarts=int(chaos_stats.get("worker_restarts", 0) or 0),
+        scheduler_sheds=int(chaos_stats.get("scheduler_sheds", 0) or 0),
+    )
+    emit("chaos_slo", chaos_report.table())
+    chaos_json = chaos_report.to_dict()
+    chaos_json["p99_budget_seconds"] = budget
+    chaos_json["faults_fired"] = fired
+    (OUT_DIR / "chaos_slo.json").write_text(
+        json.dumps(chaos_json, indent=2) + "\n"
+    )
+
     if failures:
         for line in failures:
             print(f"FAIL: {line}", file=sys.stderr)
@@ -191,7 +368,10 @@ def run(quick: bool, seed: int) -> int:
         f"{slo_lo.completed}/{slo_lo.offered} completed with 0 sheds; "
         f"overload shed {slo_hi.shed}/{slo_hi.offered} "
         f"({slo_hi.shed_rate:.0%}) with exact accounting; trace "
-        f"record/replay identical"
+        f"record/replay identical; mmpp-burst p99 {slo_burst.p99_ms:.0f} ms "
+        f"within {budget * 1e3:.0f} ms budget at "
+        f"{slo_burst.reject_rate:.0%} reject rate; chaos replay fired "
+        f"{sum(fired.values())} fault(s) with 0 failures"
     )
     return 0
 

@@ -302,6 +302,8 @@ def _serve_net(args: argparse.Namespace) -> int:
         engine_kwargs["executor"] = args.executor
     if args.key_seed is not None:
         engine_kwargs["key_seed"] = args.key_seed
+    if args.degraded_mode is not None:
+        engine_kwargs["degraded_mode"] = args.degraded_mode
 
     async def main() -> int:
         service = AsyncSearchService(
@@ -309,6 +311,8 @@ def _serve_net(args: argparse.Namespace) -> int:
             host=args.host,
             port=args.port,
             max_in_flight=args.max_in_flight,
+            admission=args.p99_budget,
+            fault_plan=args.fault_plan or None,
             **engine_kwargs,
         )
         if args.db_text:
@@ -424,11 +428,29 @@ def _load(args: argparse.Namespace) -> int:
         print(f"recorded {traces[scenario_keys[0]].num_requests} requests "
               f"to {args.record}")
 
+    # -- fault schedule + retry policy -----------------------------------
+    from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.load(args.fault_plan)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}")
+            return 2
+    retry_policy = (
+        RetryPolicy(max_attempts=args.retry, seed=seed)
+        if args.retry and args.retry > 1
+        else None
+    )
+
     # -- drive each scenario against its own target ----------------------
     def make_target(scenario):
         if args.remote is not None:
             client = Client(args.remote, pool_size=args.pool_size)
-            return RemoteTarget(client, owns_client=True)
+            return RemoteTarget(
+                client, owns_client=True, retry=retry_policy
+            )
         engine_kwargs = {}
         spec = DEFAULT_REGISTRY.spec(args.engine)
         if spec.capabilities.sharded:
@@ -461,7 +483,18 @@ def _load(args: argparse.Namespace) -> int:
                 print(f"error: {exc}")
                 return 2
             target.outsource(scenario.db_bits())
-            run = run_trace(trace, target)
+            injector = None
+            if fault_plan is not None:
+                # Fresh injector per scenario: ordinals restart with
+                # each trace, keeping the schedule deterministic.
+                injector = FaultInjector(fault_plan)
+                if args.remote is None:
+                    from repro.faults import install_engine_injector
+
+                    install_engine_injector(
+                        target.session.engine, injector
+                    )
+            run = run_trace(trace, target, injector=injector)
             slo = ScenarioSlo.from_run(trace, run)
             slos.append(slo)
             stats = target.stats()
@@ -488,7 +521,7 @@ def _load(args: argparse.Namespace) -> int:
         print(f"wrote SLO report to {args.json}")
     if not report.balanced:
         print("FAIL: shed accounting does not balance "
-              "(offered != completed + shed + failed)")
+              "(offered != completed + shed + admit_rejected + failed)")
         return 1
     if report.failed:
         print(f"FAIL: {report.failed} request(s) failed")
@@ -667,6 +700,23 @@ def build_parser() -> argparse.ArgumentParser:
         "outsource over the wire)",
     )
     p_serve_net.add_argument(
+        "--fault-plan", default="",
+        help="deterministic fault schedule: a spec string like "
+        "'worker_crash@5:shard=1;shed_storm@40:count=6' or '@plan.json' "
+        "(see docs/resilience.md; default: no injection)",
+    )
+    p_serve_net.add_argument(
+        "--p99-budget", type=float, default=None,
+        help="enable adaptive AIMD admission control with this p99 "
+        "wall-latency budget in seconds (default: disabled)",
+    )
+    p_serve_net.add_argument(
+        "--degraded-mode", choices=["fail", "partial"], default=None,
+        help="sharded-engine behavior when a shard is down: 'fail' the "
+        "batch or serve 'partial' results with a degraded_shards marker "
+        "(default: fail)",
+    )
+    p_serve_net.add_argument(
         "--max-in-flight", type=int, default=64,
         help="per-connection in-flight bound before oldest-deadline "
         "shedding (default: 64)",
@@ -731,6 +781,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument(
         "--pool-size", type=int, default=2,
         help="client connection-pool size for --remote (default: 2)",
+    )
+    p_load.add_argument(
+        "--fault-plan", default="",
+        help="client-side fault schedule replayed alongside the trace: "
+        "a spec string like 'conn_drop@20:side=client' or '@plan.json' "
+        "(in-process targets also honor shard-site events; default: "
+        "no injection)",
+    )
+    p_load.add_argument(
+        "--retry", type=int, default=0,
+        help="bounded retry attempts with decorrelated-jitter backoff "
+        "for shed/admission-rejected/lost requests (default: 0 = off)",
     )
     p_load.add_argument(
         "--engine", default="bfv-sharded",

@@ -67,6 +67,7 @@ class _Outcome:
     num_variants: int = 0
     encrypted_db_bytes: int = 0
     shards: tuple = ()
+    degraded_shards: tuple = ()
 
 
 class Engine(abc.ABC):
@@ -135,6 +136,7 @@ class Engine(abc.ABC):
             num_variants=outcome.num_variants,
             encrypted_db_bytes=outcome.encrypted_db_bytes,
             shards=tuple(outcome.shards),
+            degraded_shards=tuple(outcome.degraded_shards),
         )
 
     @abc.abstractmethod
@@ -354,6 +356,9 @@ class ShardedEngine(Engine):
         max_workers: Optional[int] = None,
         backend_factory: Optional[Callable] = None,
         client: Optional[CipherMatchClient] = None,
+        degraded_mode: str = "fail",
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 5.0,
     ):
         # Imported here: repro.serve sits above repro.core in the layer
         # stack and pulling it at module import would be circular-ish
@@ -378,6 +383,9 @@ class ShardedEngine(Engine):
             cache_capacity=cache_capacity,
             search_kernel=search_kernel,
             executor=executor,
+            degraded_mode=degraded_mode,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown=breaker_cooldown,
         )
         #: full :class:`~repro.serve.report.ServeReport` of the most
         #: recent batch (wall/modeled latency percentiles, cache stats).
@@ -420,6 +428,7 @@ class ShardedEngine(Engine):
             num_variants=report.num_variants,
             encrypted_db_bytes=report.encrypted_db_bytes,
             shards=self._shard_breakdown(),
+            degraded_shards=tuple(report.degraded_shards),
         )
 
     def _execute_batch(self, request: BatchSearch) -> BatchSearchResult:
@@ -452,6 +461,7 @@ class ShardedEngine(Engine):
                 num_variants=r.num_variants,
                 encrypted_db_bytes=r.encrypted_db_bytes,
                 shards=shards,
+                degraded_shards=tuple(r.degraded_shards),
             )
             for i, r in enumerate(serve.reports)
         )

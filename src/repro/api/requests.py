@@ -198,10 +198,17 @@ class SearchResult:
     num_variants: int = 0
     encrypted_db_bytes: int = 0
     shards: Tuple[ShardBreakdown, ...] = ()
+    #: shards whose results are missing (partial-results degradation);
+    #: empty means the matches cover the whole database
+    degraded_shards: Tuple[int, ...] = ()
 
     @property
     def num_matches(self) -> int:
         return len(self.matches)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degraded_shards)
 
     @property
     def sharded(self) -> bool:

@@ -15,7 +15,7 @@ This is the API the examples and the case-study workloads use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -36,6 +36,10 @@ class SearchReport:
     hom_additions: int
     num_variants: int
     encrypted_db_bytes: int
+    #: shards whose results are missing from this report (circuit
+    #: breaker open / terminal worker crash under partial-results mode);
+    #: empty means the report covers the whole database
+    degraded_shards: Tuple[int, ...] = ()
 
     @property
     def num_matches(self) -> int:

@@ -37,6 +37,7 @@ from .arrival import (
     resolve_arrival,
 )
 from .harness import (
+    ADMIT_REJECTED,
     COMPLETED,
     FAILED,
     SHED,
@@ -65,6 +66,7 @@ from .slo import LoadReport, ScenarioSlo
 from .trace import TRACE_VERSION, LoadTrace, TraceEvent
 
 __all__ = [
+    "ADMIT_REJECTED",
     "ARRIVAL_PROCESSES",
     "ArrivalProcess",
     "BiometricScenario",

@@ -16,8 +16,15 @@ the numbers instead of silently throttling the client.  Two targets:
   shed, not failed.
 
 Accounting invariant (asserted by ``bench_load.py --quick`` and the CI
-load-smoke replay): ``offered == completed + shed + failed`` — every
-scheduled request resolves to exactly one outcome.
+load-smoke replay): ``offered == completed + shed + admit_rejected +
+failed`` — every scheduled request resolves to exactly one outcome.
+
+Fault injection rides along: pass a
+:class:`~repro.faults.FaultInjector` to :func:`run_trace` and
+``client.request``-site events fire on scheduled arrival ordinals —
+``conn_drop`` severs the remote client's pooled sockets mid-run,
+exercising reconnect/replay under load.  Service- and engine-side
+faults are configured on the target (``serve-net --fault-plan``).
 """
 
 from __future__ import annotations
@@ -34,6 +41,9 @@ import numpy as np
 from ..api.capabilities import Capabilities
 from ..api.requests import BatchSearchResult
 from ..api.session import Session
+from ..faults import CONN_DROP, SITE_CLIENT_REQUEST, WORKER_CRASH, FaultEvent
+from ..faults import FaultInjector as _FaultInjector
+from ..faults import crash_shard_worker
 from .arrival import ArrivalProcess
 from .scenarios import Scenario, ScenarioRequest
 from .trace import LoadTrace, TraceEvent
@@ -41,6 +51,8 @@ from .trace import LoadTrace, TraceEvent
 #: outcome states (the SLO report's accounting columns)
 COMPLETED = "completed"
 SHED = "shed"
+#: fail-fast rejection by the adaptive admission controller (ERR_ADMIT)
+ADMIT_REJECTED = "admit_rejected"
 FAILED = "failed"
 
 
@@ -113,6 +125,11 @@ class LoadTarget(abc.ABC):
         """Operational counters for the report (executor, sheds, ...)."""
         return {}
 
+    def inject_fault(self, event: FaultEvent) -> bool:
+        """Apply one client-site fault to this target; returns True
+        when the target could act on it (default: no-op)."""
+        return False
+
     def close(self) -> None:  # pragma: no cover - overridden where owned
         pass
 
@@ -146,7 +163,18 @@ class SessionTarget(LoadTarget):
             "executor": str(getattr(inner, "executor_kind", "") or ""),
             "worker_restarts": int(getattr(inner, "worker_restarts", 0) or 0),
             "scheduler_sheds": 0 if scheduler is None else scheduler.sheds,
+            "admit_rejected": (
+                0 if scheduler is None else scheduler.admit_rejected
+            ),
         }
+
+    def inject_fault(self, event: FaultEvent) -> bool:
+        if event.kind != WORKER_CRASH:
+            return False
+        inner = getattr(self.session.engine, "engine", None)
+        executor = getattr(inner, "_process_executor", None)
+        shard = event.target if event.target >= 0 else 0
+        return crash_shard_worker(executor, shard)
 
     def close(self) -> None:
         if self._owns:
@@ -154,11 +182,18 @@ class SessionTarget(LoadTarget):
 
 
 class RemoteTarget(LoadTarget):
-    """Networked target over the :class:`repro.net.Client` SDK."""
+    """Networked target over the :class:`repro.net.Client` SDK.
 
-    def __init__(self, client, *, owns_client: bool = False):
+    ``retry`` (a :class:`~repro.faults.RetryPolicy` or attempt count)
+    is threaded into every submission, so shed / admission-rejected
+    responses are retried with decorrelated-jitter backoff before the
+    harness records a terminal outcome.
+    """
+
+    def __init__(self, client, *, owns_client: bool = False, retry=None):
         self.client = client
         self._owns = owns_client
+        self.retry = retry
 
     @property
     def capabilities(self) -> Capabilities:
@@ -180,7 +215,9 @@ class RemoteTarget(LoadTarget):
         self.client.outsource(db_bits)
 
     def submit(self, request, deadline: Optional[float]) -> Future:
-        return self.client.submit(request, deadline=deadline)
+        return self.client.submit(
+            request, deadline=deadline, retry=self.retry
+        )
 
     def stats(self) -> Dict[str, object]:
         s = self.client.stats()
@@ -191,7 +228,15 @@ class RemoteTarget(LoadTarget):
             "service_shed": s.shed,
             "service_completed": s.completed,
             "service_failed": s.failed,
+            "admit_rejected": s.admit_rejected,
+            "degraded_shards": s.degraded_shards,
         }
+
+    def inject_fault(self, event: FaultEvent) -> bool:
+        if event.kind != CONN_DROP:
+            return False
+        self.client.drop_connections()
+        return True
 
     def close(self) -> None:
         if self._owns:
@@ -209,7 +254,7 @@ class RequestOutcome:
 
     index: int
     at: float
-    status: str  # COMPLETED | SHED | FAILED
+    status: str  # COMPLETED | SHED | ADMIT_REJECTED | FAILED
     latency_seconds: float  # submit -> resolve; 0.0 when not completed
     num_matches: int = 0
     #: None when the trace carried no ground truth
@@ -233,9 +278,13 @@ class LoadRun:
 
     @property
     def balanced(self) -> bool:
-        """offered == completed + shed + failed (shed accounting exact)."""
+        """offered == completed + shed + admit_rejected + failed
+        (every scheduled request resolves to exactly one outcome)."""
         return self.offered == (
-            self.count(COMPLETED) + self.count(SHED) + self.count(FAILED)
+            self.count(COMPLETED)
+            + self.count(SHED)
+            + self.count(ADMIT_REJECTED)
+            + self.count(FAILED)
         )
 
     def latencies(self) -> List[float]:
@@ -264,6 +313,7 @@ def run_trace(
     target: LoadTarget,
     *,
     result_timeout: float = 120.0,
+    injector: Optional[_FaultInjector] = None,
 ) -> LoadRun:
     """Replay ``trace`` open-loop against ``target``.
 
@@ -272,8 +322,19 @@ def run_trace(
     re-pacing, preserving offered load).  Completion times are captured
     by done-callbacks so latency is submit->resolve per request, not
     submit->collection order.
+
+    ``injector`` replays ``client.request``-site fault events: each
+    scheduled arrival advances the site's ordinal counter, and fired
+    events are applied to the target via
+    :meth:`LoadTarget.inject_fault` *before* that request is submitted
+    (deterministic: the same trace + plan always faults the same
+    requests).
     """
-    from ..net.codec import RequestShedError, ServiceDrainingError
+    from ..net.codec import (
+        AdmissionRejectedError,
+        RequestShedError,
+        ServiceDrainingError,
+    )
 
     default_deadline = trace.deadline
     submissions = []
@@ -282,6 +343,9 @@ def run_trace(
         delay = ev.at - (time.perf_counter() - start)
         if delay > 0:
             time.sleep(delay)
+        if injector is not None:
+            for event in injector.step(SITE_CLIENT_REQUEST):
+                target.inject_fault(event)
         deadline = ev.deadline if ev.deadline is not None else default_deadline
         submitted_at = time.perf_counter()
         done_at: Dict[str, float] = {}
@@ -310,6 +374,17 @@ def run_trace(
             continue
         try:
             result = future.result(timeout=result_timeout)
+        except AdmissionRejectedError:
+            # Checked before the shed leg: both are RemoteErrors, but
+            # fail-fast rejects get their own accounting column.
+            outcomes.append(
+                RequestOutcome(
+                    index=ev.index,
+                    at=ev.at,
+                    status=ADMIT_REJECTED,
+                    latency_seconds=0.0,
+                )
+            )
         except RequestShedError:
             outcomes.append(
                 RequestOutcome(

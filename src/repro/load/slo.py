@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 
 from ..eval.tables import format_table
 from ..utils.stats import percentile
-from .harness import COMPLETED, FAILED, SHED, LoadRun
+from .harness import ADMIT_REJECTED, COMPLETED, FAILED, SHED, LoadRun
 from .trace import LoadTrace
 
 REPORT_VERSION = 1
@@ -44,15 +44,27 @@ class ScenarioSlo:
     p50_ms: float
     p95_ms: float
     p99_ms: float
+    #: fail-fast rejections by the adaptive admission controller
+    admit_rejected: int = 0
 
     @property
     def shed_rate(self) -> float:
         return self.shed / self.offered if self.offered else 0.0
 
     @property
+    def reject_rate(self) -> float:
+        """Combined shed + admit-reject fraction of offered load."""
+        if not self.offered:
+            return 0.0
+        return (self.shed + self.admit_rejected) / self.offered
+
+    @property
     def balanced(self) -> bool:
-        """Shed accounting exact: offered == completed + shed + failed."""
-        return self.offered == self.completed + self.shed + self.failed
+        """Accounting exact: offered == completed + shed +
+        admit_rejected + failed."""
+        return self.offered == (
+            self.completed + self.shed + self.admit_rejected + self.failed
+        )
 
     @classmethod
     def from_run(cls, trace: LoadTrace, run: LoadRun) -> "ScenarioSlo":
@@ -65,6 +77,7 @@ class ScenarioSlo:
             completed=completed,
             shed=run.count(SHED),
             failed=run.count(FAILED),
+            admit_rejected=run.count(ADMIT_REJECTED),
             mismatches=sum(
                 1 for o in run.outcomes if o.matched_expected is False
             ),
@@ -113,6 +126,10 @@ class LoadReport:
         return sum(s.failed for s in self.scenarios)
 
     @property
+    def admit_rejected(self) -> int:
+        return sum(s.admit_rejected for s in self.scenarios)
+
+    @property
     def mismatches(self) -> int:
         return sum(s.mismatches for s in self.scenarios)
 
@@ -131,6 +148,7 @@ class LoadReport:
                     s.offered,
                     s.completed,
                     s.shed,
+                    s.admit_rejected,
                     s.failed,
                     f"{s.shed_rate * 100:.1f}%",
                     f"{s.offered_qps:.1f}",
@@ -158,6 +176,7 @@ class LoadReport:
                 "offered",
                 "completed",
                 "shed",
+                "admit rej",
                 "failed",
                 "shed rate",
                 "offered q/s",
@@ -180,12 +199,14 @@ class LoadReport:
             "offered": self.offered,
             "completed": self.completed,
             "shed": self.shed,
+            "admit_rejected": self.admit_rejected,
             "failed": self.failed,
             "mismatches": self.mismatches,
             "balanced": self.balanced,
         }
         for row, slo in zip(out["scenarios"], self.scenarios):
             row["shed_rate"] = slo.shed_rate
+            row["reject_rate"] = slo.reject_rate
             row["balanced"] = slo.balanced
         return out
 

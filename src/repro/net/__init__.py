@@ -32,8 +32,11 @@ with compact binary payloads (:mod:`repro.net.codec`).  See
 from ..api.registry import DEFAULT_REGISTRY
 from .client import AsyncClient, Client, parse_address
 from .codec import (
+    AdmissionRejectedError,
+    ConnectionLostError,
     RemoteError,
     RequestShedError,
+    RequestTimeoutError,
     ServiceDrainingError,
     ServiceStats,
     Welcome,
@@ -49,15 +52,18 @@ if "remote" not in DEFAULT_REGISTRY:
     )
 
 __all__ = [
+    "AdmissionRejectedError",
     "AsyncClient",
     "AsyncSearchService",
     "Client",
+    "ConnectionLostError",
     "Frame",
     "FrameType",
     "FramingError",
     "RemoteEngine",
     "RemoteError",
     "RequestShedError",
+    "RequestTimeoutError",
     "ServiceDrainingError",
     "ServiceStats",
     "ServiceThread",

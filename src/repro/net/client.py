@@ -27,7 +27,8 @@ import asyncio
 import itertools
 import socket
 import threading
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
+from concurrent.futures import TimeoutError as _FutureTimeout
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -39,6 +40,7 @@ from ..api.requests import (
     SearchRequest,
     SearchResult,
 )
+from ..faults import RetryPolicy
 from ..verify import VerifyLike, VerifyPolicy
 from . import codec
 from .framing import (
@@ -52,6 +54,16 @@ from .framing import (
 )
 
 AddressLike = Union[str, Tuple[str, int]]
+
+#: errors a retry policy treats as transient unless it overrides them:
+#: lost connections (idempotent searches are safe to replay), load
+#: sheds, and fail-fast admission rejects — all are "try again later",
+#: never "the request is wrong"
+DEFAULT_RETRYABLE = (
+    ConnectionError,
+    codec.RequestShedError,
+    codec.AdmissionRejectedError,
+)
 
 
 def parse_address(address: AddressLike) -> Tuple[str, int]:
@@ -163,7 +175,7 @@ class _Connection:
             except OSError:
                 pass
             sock.close()
-        self._fail_outstanding(ConnectionError("client closed"))
+        self._fail_outstanding(codec.ConnectionLostError("client closed"))
 
     # -- request path ----------------------------------------------------
 
@@ -184,7 +196,12 @@ class _Connection:
                     with self._calls_lock:
                         self._calls.pop(call.frame.request_id, None)
                     if not call.future.done():
-                        call.future.set_exception(exc)
+                        call.future.set_exception(
+                            codec.ConnectionLostError(
+                                f"send failed after resend budget "
+                                f"exhausted: {exc}"
+                            )
+                        )
                     return
                 call.retries -= 1
 
@@ -207,9 +224,21 @@ class _Connection:
                 if call is None:
                     continue  # response to a shed/abandoned request
                 try:
-                    call.future.set_result(_decode_response(frame))
+                    result = _decode_response(frame)
                 except Exception as exc:  # carried remote error
-                    call.future.set_exception(exc)
+                    result, error = None, exc
+                else:
+                    error = None
+                # A caller that timed out cancels its future; the late
+                # response settles into the void instead of killing the
+                # reader thread with InvalidStateError.
+                try:
+                    if error is not None:
+                        call.future.set_exception(error)
+                    else:
+                        call.future.set_result(result)
+                except InvalidStateError:
+                    pass
         except (ConnectionError, OSError, ValueError):
             pass
         # The socket died (or EOF).  If it is still the active socket,
@@ -229,12 +258,19 @@ class _Connection:
         for call in outstanding:
             if call.future.done():
                 continue
-            if call.idempotent and call.retries > 0:
+            if call.idempotent and call.retries > 0 and not self._closed:
                 call.retries -= 1
                 self.send_call(call)
             else:
                 call.future.set_exception(
-                    ConnectionError("connection lost before the response")
+                    codec.ConnectionLostError(
+                        "connection lost before the response"
+                        + (
+                            ""
+                            if call.idempotent
+                            else " (non-idempotent request; not replayed)"
+                        )
+                    )
                 )
 
     def _fail_outstanding(self, exc: Exception) -> None:
@@ -257,7 +293,19 @@ class Client:
         Number of pooled connections; requests round-robin across them.
     max_retries:
         Reconnect-and-resend attempts per idempotent request after a
-        dropped connection.
+        dropped connection.  Exhausting the budget fails the future
+        with :class:`~repro.net.codec.ConnectionLostError`.
+    retry:
+        Application-level retry for shed/admission-rejected/lost
+        requests: ``None`` (off), an attempt count, or a
+        :class:`~repro.faults.RetryPolicy` (decorrelated-jitter
+        exponential backoff).  Each retry reuses the original request
+        id, so service-side accounting never double-counts one logical
+        request.
+    request_timeout:
+        Default per-request bound, in seconds, on :meth:`search`'s
+        synchronous wait (``None`` → wait forever).  Expiry raises
+        :class:`~repro.net.codec.RequestTimeoutError`.
     handshake_timeout / connect_timeout:
         Bounds on connection establishment and the HELLO/WELCOME
         exchange, in seconds.  Established connections have *no* read
@@ -273,6 +321,8 @@ class Client:
         *,
         pool_size: int = 2,
         max_retries: int = 2,
+        retry: Union[None, int, RetryPolicy] = None,
+        request_timeout: Optional[float] = 120.0,
         handshake_timeout: Optional[float] = 30.0,
         connect_timeout: Optional[float] = 10.0,
     ):
@@ -280,6 +330,8 @@ class Client:
             raise ValueError(f"pool_size must be >= 1, got {pool_size}")
         self.address = parse_address(address)
         self.max_retries = max_retries
+        self.retry = RetryPolicy.coerce(retry)
+        self.request_timeout = request_timeout
         self.handshake_timeout = handshake_timeout
         self.connect_timeout = connect_timeout
         self._pool: List[_Connection] = [
@@ -309,6 +361,61 @@ class Client:
         self._connection().send_call(call)
         return future
 
+    def _submit_with_retry(
+        self, ftype: FrameType, payload: bytes, policy: RetryPolicy
+    ) -> Future:
+        """Submit one idempotent frame under a retry policy.
+
+        The caller's future resolves with the first successful attempt,
+        or the last attempt's error once the budget is spent.  Every
+        attempt reuses one request id: a retry of a shed request is the
+        *same* logical request to the service, so accounting (and any
+        response racing the retry) stays single-counted.  Backoff waits
+        run on daemon timers — no caller thread blocks between tries.
+        """
+        if self._closed:
+            raise RuntimeError("client is closed")
+        outer: Future = Future()
+        request_id = next(self._ids)
+        frame_template = Frame(ftype, request_id, payload)
+        backoff = policy.begin()
+        attempts = [0]
+
+        def launch() -> None:
+            if outer.done() or self._closed:
+                if not outer.done():
+                    outer.set_exception(
+                        codec.ConnectionLostError("client closed")
+                    )
+                return
+            attempts[0] += 1
+            inner: Future = Future()
+            inner.add_done_callback(settle)
+            self._connection().send_call(
+                _Call(frame_template, inner, self.max_retries, True)
+            )
+
+        def settle(inner: Future) -> None:
+            if outer.done():
+                return
+            exc = inner.exception()
+            if exc is None:
+                outer.set_result(inner.result())
+                return
+            if (
+                self._closed
+                or attempts[0] >= policy.max_attempts
+                or not policy.is_retryable(exc, DEFAULT_RETRYABLE)
+            ):
+                outer.set_exception(exc)
+                return
+            timer = threading.Timer(backoff.next_delay(), launch)
+            timer.daemon = True
+            timer.start()
+
+        launch()
+        return outer
+
     @property
     def welcome(self) -> codec.Welcome:
         """Server identity from the handshake (connects if needed)."""
@@ -321,6 +428,19 @@ class Client:
         self._closed = True
         for conn in self._pool:
             conn.close()
+
+    def drop_connections(self) -> None:
+        """Forcibly sever every pooled socket (fault-injection hook for
+        ``conn_drop`` events).  Reader threads observe the reset and
+        replay outstanding idempotent calls on fresh connections —
+        exactly the client-side path a real network blip exercises."""
+        for conn in self._pool:
+            sock = conn._sock
+            if sock is not None:
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
 
     def __enter__(self) -> "Client":
         return self
@@ -336,16 +456,22 @@ class Client:
         *,
         verify: VerifyLike = None,
         deadline: Optional[float] = None,
+        retry: Union[None, int, RetryPolicy] = None,
     ) -> Future:
         """Queue one request on the service; returns a future of its
         :class:`SearchResult` (or :class:`BatchSearchResult`).
 
         ``deadline`` is a relative latency budget in seconds the
         service's admission control uses for oldest-deadline shedding.
+        ``retry`` overrides the client-level retry policy for this
+        request (``None`` → use the client's).
         """
         ftype, payload = codec.encode_request(
             _as_request(request, verify), deadline
         )
+        policy = RetryPolicy.coerce(retry) if retry is not None else self.retry
+        if policy is not None:
+            return self._submit_with_retry(ftype, payload, policy)
         return self._submit_frame(ftype, payload, idempotent=True)
 
     def search(
@@ -354,9 +480,26 @@ class Client:
         *,
         verify: VerifyLike = None,
         deadline: Optional[float] = None,
+        retry: Union[None, int, RetryPolicy] = None,
+        timeout: Optional[float] = None,
     ) -> Union[SearchResult, BatchSearchResult]:
-        """Execute one request synchronously over the wire."""
-        return self.submit(request, verify=verify, deadline=deadline).result()
+        """Execute one request synchronously over the wire.
+
+        ``timeout`` bounds this call (``None`` → the client's
+        ``request_timeout``); expiry raises
+        :class:`~repro.net.codec.RequestTimeoutError` — the request may
+        still complete server-side, but this caller stops waiting."""
+        bound = self.request_timeout if timeout is None else timeout
+        future = self.submit(
+            request, verify=verify, deadline=deadline, retry=retry
+        )
+        try:
+            return future.result(bound)
+        except _FutureTimeout:
+            future.cancel()
+            raise codec.RequestTimeoutError(
+                f"no response within {bound:.1f}s"
+            ) from None
 
     def search_batch(
         self, queries: Sequence, *, verify: VerifyLike = None
@@ -458,7 +601,7 @@ class AsyncClient:
         except (ConnectionError, OSError, ValueError) as exc:
             self._fail_pending(exc)
             return
-        self._fail_pending(ConnectionError("connection closed"))
+        self._fail_pending(codec.ConnectionLostError("connection closed"))
 
     def _fail_pending(self, exc: Exception) -> None:
         pending, self._pending = self._pending, {}
@@ -497,10 +640,37 @@ class AsyncClient:
         *,
         verify: VerifyLike = None,
         deadline: Optional[float] = None,
+        retry: Union[None, int, RetryPolicy] = None,
+        timeout: Optional[float] = None,
     ) -> Union[SearchResult, BatchSearchResult]:
-        return await (
-            await self.submit(request, verify=verify, deadline=deadline)
-        )
+        """Execute one request; ``retry``/``timeout`` mirror the sync
+        client (backoff waits are ``asyncio.sleep``-based here)."""
+        policy = RetryPolicy.coerce(retry)
+        backoff = policy.begin() if policy is not None else None
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                future = await self.submit(
+                    request, verify=verify, deadline=deadline
+                )
+                if timeout is None:
+                    return await future
+                try:
+                    return await asyncio.wait_for(future, timeout)
+                except asyncio.TimeoutError:
+                    raise codec.RequestTimeoutError(
+                        f"no response within {timeout:.1f}s"
+                    ) from None
+            except Exception as exc:
+                if (
+                    policy is None
+                    or attempt >= policy.max_attempts
+                    or not policy.is_retryable(exc, DEFAULT_RETRYABLE)
+                ):
+                    raise
+                assert backoff is not None
+                await asyncio.sleep(backoff.next_delay())
 
     async def search_batch(
         self, queries: Sequence, *, verify: VerifyLike = None
@@ -530,4 +700,4 @@ class AsyncClient:
                 await self._writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
-        self._fail_pending(ConnectionError("client closed"))
+        self._fail_pending(codec.ConnectionLostError("client closed"))

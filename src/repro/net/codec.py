@@ -54,6 +54,7 @@ ERR_CAPABILITY = 2    # engine cannot serve the request
 ERR_SHED = 3          # dropped by admission control (backpressure)
 ERR_DRAINING = 4      # service is draining; no new work accepted
 ERR_BAD_FRAME = 5     # request payload failed to decode
+ERR_ADMIT = 6         # fail-fast reject by the adaptive admission target
 
 
 class RemoteError(RuntimeError):
@@ -64,8 +65,22 @@ class RequestShedError(RemoteError):
     """Admission control dropped the request (bounded in-flight queue)."""
 
 
+class AdmissionRejectedError(RemoteError):
+    """The adaptive admission controller rejected the request before it
+    entered the queue (its class is over the AIMD admission target)."""
+
+
 class ServiceDrainingError(RemoteError):
     """The service is draining and accepts no new requests."""
+
+
+class ConnectionLostError(ConnectionError):
+    """The connection died and bounded resends were exhausted — the
+    request's fate on the server is unknown."""
+
+
+class RequestTimeoutError(TimeoutError):
+    """A client-side per-request timeout expired before a response."""
 
 
 def error_to_exception(code: int, message: str) -> Exception:
@@ -75,6 +90,8 @@ def error_to_exception(code: int, message: str) -> Exception:
         return CapabilityError(message)
     if code == ERR_SHED:
         return RequestShedError(message)
+    if code == ERR_ADMIT:
+        return AdmissionRejectedError(message)
     if code == ERR_DRAINING:
         return ServiceDrainingError(message)
     return RemoteError(message)
@@ -382,6 +399,9 @@ def _write_result(w: _Writer, result: SearchResult) -> None:
     for shard in result.shards:
         w.u32(shard.shard_id).u32(shard.num_polynomials)
         w.u64(shard.hom_adds).u32(shard.tasks_executed)
+    w.u16(len(result.degraded_shards))
+    for shard_id in result.degraded_shards:
+        w.u32(shard_id)
 
 
 def _read_result(r: _Reader) -> SearchResult:
@@ -407,6 +427,7 @@ def _read_result(r: _Reader) -> SearchResult:
         )
         for _ in range(r.u16())
     )
+    degraded = tuple(r.u32() for _ in range(r.u16()))
     return SearchResult(
         matches=matches,
         engine=engine,
@@ -417,6 +438,7 @@ def _read_result(r: _Reader) -> SearchResult:
         num_variants=num_variants,
         encrypted_db_bytes=encrypted_db_bytes,
         shards=shards,
+        degraded_shards=degraded,
     )
 
 
@@ -519,6 +541,10 @@ class ServiceStats:
     #: machine-readable ServeReport.to_json() of the last batch ("" if
     #: none) — the artifact surface bench_load and dashboards parse
     report_json: str = ""
+    #: fail-fast rejects by the adaptive admission controller (ERR_ADMIT)
+    admit_rejected: int = 0
+    #: shards currently degraded (circuit breaker not closed)
+    degraded_shards: int = 0
 
 
 def encode_stats(stats: ServiceStats) -> bytes:
@@ -531,6 +557,7 @@ def encode_stats(stats: ServiceStats) -> bytes:
     w.f64(stats.wall_p50).f64(stats.wall_p95).f64(stats.wall_p99)
     w.f64(stats.throughput_qps).f64(stats.cache_hit_rate)
     w.u64(stats.worker_restarts).u64(stats.dead_shard_degradations)
+    w.u64(stats.admit_rejected).u64(stats.degraded_shards)
     w.blob(stats.executor.encode("utf-8"))
     w.blob(stats.report_text.encode("utf-8"))
     w.blob(stats.report_json.encode("utf-8"))
@@ -556,6 +583,8 @@ def decode_stats(payload: bytes) -> ServiceStats:
         cache_hit_rate=r.f64(),
         worker_restarts=r.u64(),
         dead_shard_degradations=r.u64(),
+        admit_rejected=r.u64(),
+        degraded_shards=r.u64(),
         executor=r.blob().decode("utf-8"),
         report_text=r.blob().decode("utf-8"),
         report_json=r.blob().decode("utf-8"),
@@ -566,13 +595,17 @@ def decode_stats(payload: bytes) -> ServiceStats:
 
 #: results a response frame can carry, by type
 __all__: List[str] = [
+    "ERR_ADMIT",
     "ERR_BAD_FRAME",
     "ERR_CAPABILITY",
     "ERR_DRAINING",
     "ERR_REMOTE",
     "ERR_SHED",
+    "AdmissionRejectedError",
+    "ConnectionLostError",
     "RemoteError",
     "RequestShedError",
+    "RequestTimeoutError",
     "ServiceDrainingError",
     "ServiceStats",
     "Welcome",

@@ -27,6 +27,7 @@ import enum
 import socket
 import struct
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 MAGIC = b"CMN1"
 #: wire protocol version, negotiated in the HELLO/WELCOME handshake
@@ -75,6 +76,32 @@ class Frame:
     type: FrameType
     request_id: int
     payload: bytes = b""
+
+
+# -- fault injection boundary --------------------------------------------------
+
+#: when set (see :class:`repro.faults.FaultInjector.frame_hook`), every
+#: outbound frame passes through the hook, which may return a replacement
+#: (e.g. with a corrupted payload) — the chaos harness's way of testing
+#: that a garbled response surfaces as a decode error, never a hang
+_send_fault_hook: Optional[Callable[[Frame], Frame]] = None
+
+
+def set_send_fault_hook(hook: Optional[Callable[[Frame], Frame]]) -> None:
+    """Install (or clear, with ``None``) the outbound-frame fault hook."""
+    global _send_fault_hook
+    _send_fault_hook = hook
+
+
+def get_send_fault_hook() -> Optional[Callable[[Frame], Frame]]:
+    return _send_fault_hook
+
+
+def _apply_send_fault(frame: Frame) -> Frame:
+    hook = _send_fault_hook
+    if hook is None:
+        return frame
+    return hook(frame) or frame
 
 
 def encode_frame(frame: Frame) -> bytes:
@@ -149,7 +176,7 @@ async def read_frame(reader) -> Frame | None:
 
 async def write_frame(writer, frame: Frame) -> None:
     """Write one frame to an :class:`asyncio.StreamWriter` and drain."""
-    writer.write(encode_frame(frame))
+    writer.write(encode_frame(_apply_send_fault(frame)))
     await writer.drain()
 
 
@@ -183,4 +210,4 @@ def read_frame_sync(sock: socket.socket) -> Frame | None:
 
 def write_frame_sync(sock: socket.socket, frame: Frame) -> None:
     """Blocking frame write."""
-    sock.sendall(encode_frame(frame))
+    sock.sendall(encode_frame(_apply_send_fault(frame)))

@@ -42,6 +42,16 @@ from typing import Dict, Optional, Set, Union
 
 from ..api.capabilities import CapabilityError
 from ..api.session import Session, open_session
+from ..faults import (
+    CONN_DROP,
+    SHED_STORM,
+    SITE_FRAME_SEND,
+    SITE_SERVER_REQUEST,
+    FaultInjector,
+    FaultPlan,
+    install_engine_injector,
+)
+from ..serve.admission import classify_request, coerce_admission
 from . import codec
 from .framing import (
     PROTOCOL_VERSION,
@@ -49,6 +59,7 @@ from .framing import (
     FrameType,
     FramingError,
     read_frame,
+    set_send_fault_hook,
     write_frame,
 )
 
@@ -66,6 +77,11 @@ class _InFlight:
     #: started executing, whereas cancelling the asyncio wrapper
     #: "succeeds" even when the work keeps running underneath
     cf_future: Optional["_ConcurrentFuture"] = None
+    #: admission class ("exact"/"wildcard"/"batch") when the adaptive
+    #: controller admitted this request; None when it is disabled
+    admission_class: Optional[str] = None
+    #: loop.time() at admission — feeds the controller's p99 window
+    admitted_at: float = 0.0
 
 
 @dataclass(eq=False)
@@ -102,6 +118,8 @@ class AsyncSearchService:
         host: str = "127.0.0.1",
         port: int = 0,
         max_in_flight: int = 64,
+        admission=None,
+        fault_plan=None,
         **engine_kwargs,
     ):
         if isinstance(engine, Session) and session is None:
@@ -122,6 +140,22 @@ class AsyncSearchService:
         self.host = host
         self.port = port
         self.max_in_flight = max_in_flight
+        #: adaptive AIMD admission controller (None → disabled); accepts
+        #: an :class:`~repro.serve.admission.AdmissionController`, a p99
+        #: budget in seconds, or a ``{class: seconds}`` mapping
+        self.admission = coerce_admission(admission)
+        #: deterministic fault schedule replayed by this service (None →
+        #: no injection); accepts a :class:`~repro.faults.FaultPlan`, a
+        #: spec string (``"conn_drop@3;shed_storm@10:count=4"``), or a
+        #: ``@file.json`` reference
+        if fault_plan is not None and not isinstance(fault_plan, FaultPlan):
+            fault_plan = FaultPlan.load(fault_plan)
+        self.fault_plan = fault_plan
+        self.fault_injector: Optional[FaultInjector] = (
+            FaultInjector(fault_plan) if fault_plan else None
+        )
+        self._frame_hook_installed = False
+        self._storm_remaining = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[_Connection] = set()
         self._outsource_lock = asyncio.Lock()
@@ -133,6 +167,8 @@ class AsyncSearchService:
         self.completed = 0
         self.shed = 0
         self.failed = 0
+        #: fail-fast rejections by the adaptive admission controller
+        self.admit_rejected = 0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -149,6 +185,15 @@ class AsyncSearchService:
         """Bind and start accepting connections; returns the address."""
         if self._server is not None:
             raise RuntimeError("service already started")
+        if self.fault_injector is not None:
+            # Thread the schedule into the backing engine (shard.task
+            # sites) and the framing layer (frame.send corruption).
+            install_engine_injector(self.session.engine, self.fault_injector)
+            if any(
+                ev.site == SITE_FRAME_SEND for ev in self.fault_injector.plan
+            ):
+                set_send_fault_hook(self.fault_injector.frame_hook())
+                self._frame_hook_installed = True
         self._drained = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
@@ -185,6 +230,9 @@ class AsyncSearchService:
             if not pending:
                 break
             await asyncio.gather(*pending, return_exceptions=True)
+        if self._frame_hook_installed:
+            set_send_fault_hook(None)
+            self._frame_hook_installed = False
         if self._owns_session:
             # session.close() joins the dispatcher thread; keep the
             # event loop responsive while it drains.
@@ -253,6 +301,7 @@ class AsyncSearchService:
         executor = str(getattr(inner, "executor_kind", "") or "")
         worker_restarts = int(getattr(inner, "worker_restarts", 0) or 0)
         degradations = int(getattr(inner, "degraded_tasks", 0) or 0)
+        degraded_shards = len(getattr(inner, "degraded_shards", ()) or ())
         return codec.ServiceStats(
             active_connections=len(self._connections),
             total_connections=self.total_connections,
@@ -271,6 +320,8 @@ class AsyncSearchService:
             executor=executor,
             worker_restarts=worker_restarts,
             dead_shard_degradations=degradations,
+            admit_rejected=self.admit_rejected,
+            degraded_shards=degraded_shards,
             report_text=text,
             report_json=report_json,
         )
@@ -367,7 +418,39 @@ class AsyncSearchService:
 
     # -- request admission + execution -----------------------------------
 
+    def _step_request_faults(self, conn: _Connection) -> bool:
+        """Fire scheduled server.request faults for this arrival.
+
+        Returns True when the connection was dropped (caller must stop
+        processing the frame)."""
+        if self.fault_injector is None:
+            return False
+        dropped = False
+        for event in self.fault_injector.step(SITE_SERVER_REQUEST):
+            if event.kind == SHED_STORM:
+                self._storm_remaining += max(1, event.count)
+            elif event.kind == CONN_DROP:
+                dropped = True
+        if dropped:
+            conn.closed = True
+            transport = conn.writer.transport
+            if transport is not None:
+                transport.abort()
+        return dropped
+
+    def _release_admission(
+        self,
+        entry: _InFlight,
+        latency: Optional[float] = None,
+        *,
+        ok: bool = True,
+    ) -> None:
+        if self.admission is not None and entry.admission_class is not None:
+            self.admission.release(entry.admission_class, latency, ok=ok)
+
     async def _handle_request(self, conn: _Connection, frame: Frame) -> None:
+        if self._step_request_faults(conn):
+            return
         if self._draining:
             await conn.send(
                 FrameType.ERROR,
@@ -391,13 +474,55 @@ class AsyncSearchService:
         abs_deadline = (
             float("inf") if deadline is None else loop.time() + deadline
         )
-        if not await self._admit(conn, frame.request_id, abs_deadline):
+
+        # Injected shed storm: forced ERR_SHED bursts exercise client
+        # retry/backoff without needing a real overload.
+        if self._storm_remaining > 0:
+            self._storm_remaining -= 1
+            self._record_shed()
+            await conn.send(
+                FrameType.ERROR,
+                frame.request_id,
+                codec.encode_error(
+                    codec.ERR_SHED, "request shed by injected shed storm"
+                ),
+            )
             return
+
+        # Adaptive admission: fail-fast before the request consumes an
+        # in-flight slot when its class sits at the AIMD target.
+        admission_class: Optional[str] = None
+        if self.admission is not None:
+            admission_class = classify_request(request)
+            if not self.admission.try_admit(admission_class):
+                self.admit_rejected += 1
+                scheduler = self._scheduler()
+                if scheduler is not None:
+                    scheduler.record_admit_rejected()
+                await conn.send(
+                    FrameType.ERROR,
+                    frame.request_id,
+                    codec.encode_error(
+                        codec.ERR_ADMIT,
+                        f"admission target reached for class "
+                        f"{admission_class!r}; retry with backoff",
+                    ),
+                )
+                return
+
+        if not await self._admit(conn, frame.request_id, abs_deadline):
+            if self.admission is not None and admission_class is not None:
+                self.admission.release(admission_class, None, ok=False)
+            return
+        entry = conn.in_flight[frame.request_id]
+        entry.admission_class = admission_class
+        entry.admitted_at = loop.time()
 
         try:
             cf_future = self.session.submit(request)
         except (CapabilityError, RuntimeError, ValueError, TypeError) as exc:
             conn.in_flight.pop(frame.request_id, None)
+            self._release_admission(entry, ok=False)
             code = (
                 codec.ERR_CAPABILITY
                 if isinstance(exc, CapabilityError)
@@ -411,10 +536,8 @@ class AsyncSearchService:
             return
         self.accepted += 1
         future = asyncio.wrap_future(cf_future, loop=loop)
-        conn.in_flight[frame.request_id].cf_future = cf_future
-        task = asyncio.ensure_future(
-            self._respond(conn, frame.request_id, future)
-        )
+        entry.cf_future = cf_future
+        task = asyncio.ensure_future(self._respond(conn, entry, future))
         conn.tasks.add(task)
         task.add_done_callback(conn.tasks.discard)
 
@@ -458,12 +581,14 @@ class AsyncSearchService:
         return True
 
     async def _respond(
-        self, conn: _Connection, request_id: int, future: "asyncio.Future"
+        self, conn: _Connection, entry: _InFlight, future: "asyncio.Future"
     ) -> None:
+        request_id = entry.request_id
         try:
             outcome = await future
         except asyncio.CancelledError:
             conn.in_flight.pop(request_id, None)
+            self._release_admission(entry, ok=False)
             await conn.send(
                 FrameType.ERROR,
                 request_id,
@@ -475,6 +600,7 @@ class AsyncSearchService:
             return
         except BaseException as exc:
             conn.in_flight.pop(request_id, None)
+            self._release_admission(entry, ok=False)
             self.failed += 1
             code = (
                 codec.ERR_CAPABILITY
@@ -489,6 +615,9 @@ class AsyncSearchService:
             return
         conn.in_flight.pop(request_id, None)
         self.completed += 1
+        self._release_admission(
+            entry, asyncio.get_running_loop().time() - entry.admitted_at
+        )
         ftype, payload = codec.encode_search_outcome(outcome)
         await conn.send(ftype, request_id, payload)
 

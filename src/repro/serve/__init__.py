@@ -60,6 +60,7 @@ Quickstart
 one to eight shards.
 """
 
+from .admission import AdmissionController, classify_request, coerce_admission
 from .cache import CacheStats, VariantCipherCache
 from .engine import BackendFactory, DbShard, ShardedSearchEngine
 from .executor import (
@@ -76,6 +77,7 @@ from .scheduler import ServeScheduler, ShardTaskTrace
 from .worker import ShardWorkerSpec
 
 __all__ = [
+    "AdmissionController",
     "BackendFactory",
     "CacheStats",
     "DbShard",
@@ -90,6 +92,8 @@ __all__ = [
     "ShardedSearchEngine",
     "VariantCipherCache",
     "WorkerCrashError",
+    "classify_request",
+    "coerce_admission",
     "get_default_serve_executor",
     "resolve_serve_executor",
     "set_default_serve_executor",

@@ -72,8 +72,16 @@ from ..core.matcher import (
 from ..core.packing import EncryptedDatabase
 from ..core.pipeline import SearchReport
 from ..core.query import PreparedQuery, variant_cache_key
+from ..faults import (
+    SLOW_SHARD,
+    SITE_SHARD_TASK,
+    WORKER_CRASH,
+    CircuitBreaker,
+    FaultInjector,
+    crash_shard_worker,
+)
 from .cache import VariantCipherCache
-from .executor import ProcessShardExecutor, resolve_serve_executor
+from .executor import ProcessShardExecutor, WorkerCrashError, resolve_serve_executor
 from .report import ServeReport, ShardStats
 from .scheduler import ServeScheduler, ShardTaskTrace
 from .worker import ShardWorkerSpec
@@ -115,6 +123,8 @@ class _QueryJob:
         self.blocks: List[ResultBlock] = []
         #: shard_id -> (V, shard_polys, n) flag grid slice (fused kernel)
         self.flag_parts: Dict[int, np.ndarray] = {}
+        #: shards whose task was skipped/lost under partial-results mode
+        self.degraded: set = set()
         self.query_arena: Optional[QueryArena] = None
         self.remaining = num_shards
         self.lock = threading.Lock()
@@ -178,6 +188,23 @@ class ShardedSearchEngine:
         the old build-everything-at-adopt behavior (and pre-warms
         worker phase caches under the process executor) for serving
         fleets that prefer the cost up front.
+    degraded_mode:
+        What a batch does when a shard is unserveable (terminal worker
+        crash, circuit breaker open).  ``"fail"`` (default) propagates
+        the failure — the historical behavior.  ``"partial"`` zero-fills
+        the dead shard's flag slice and returns matches from the live
+        shards, marking the report's ``degraded_shards`` so callers know
+        the result may be incomplete.
+    breaker_threshold / breaker_cooldown:
+        Per-shard :class:`repro.faults.CircuitBreaker` tuning: the
+        breaker opens after ``breaker_threshold`` consecutive crash-ful
+        tasks and half-opens (one probe task) after ``breaker_cooldown``
+        seconds.
+    fault_injector:
+        Optional :class:`repro.faults.FaultInjector`; when set, every
+        shard task steps the ``shard.task`` site (worker crashes, slow
+        shards) before executing.  Settable after construction too — the
+        net service wires it through this attribute.
     """
 
     def __init__(
@@ -194,6 +221,10 @@ class ShardedSearchEngine:
         search_kernel: Optional[str] = None,
         executor: Optional[str] = None,
         arena_build: Optional[str] = None,
+        degraded_mode: str = "fail",
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 5.0,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         if client is None:
             if config is None:
@@ -228,6 +259,15 @@ class ShardedSearchEngine:
         if arena_build is not None:
             resolve_arena_build(arena_build)  # validate eagerly
         self.arena_build = arena_build
+        if degraded_mode not in ("fail", "partial"):
+            raise ValueError(
+                f"degraded_mode must be 'fail' or 'partial', got {degraded_mode!r}"
+            )
+        self.degraded_mode = degraded_mode
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.fault_injector = fault_injector
+        self._breakers: Dict[int, CircuitBreaker] = {}
         self.shards: List[DbShard] = []
         self.db: Optional[EncryptedDatabase] = None
         self._comparator: Optional[DeterministicComparator] = None
@@ -266,6 +306,13 @@ class ShardedSearchEngine:
             )
             for i in range(effective)
         ]
+        self._breakers = {
+            shard.shard_id: CircuitBreaker(
+                failure_threshold=self.breaker_threshold,
+                cooldown=self.breaker_cooldown,
+            )
+            for shard in self.shards
+        }
         self._comparator = None
         if self.config.index_mode is IndexMode.SERVER_DETERMINISTIC:
             self._comparator = DeterministicComparator(
@@ -371,43 +418,92 @@ class ShardedSearchEngine:
                     job, shard = tasks.get_nowait()
                 except queue_mod.Empty:
                     return
+                breaker = self._breakers.get(shard.shard_id)
+                injector = self.fault_injector
                 try:
-                    with shard.lock:
-                        depth_samples.append(tasks.qsize())
-                        if workers is not None:
-                            flags_part, hom_adds, crashes = (
-                                self._run_shard_task_process(shard, job, workers)
+                    blocks: Optional[List[ResultBlock]] = None
+                    flags_part: Optional[np.ndarray] = None
+                    hom_adds = 0
+                    crashes = 0
+                    degraded = False
+                    events = (
+                        injector.step(SITE_SHARD_TASK, shard.shard_id)
+                        if injector is not None
+                        else ()
+                    )
+                    for ev in events:
+                        if ev.kind == SLOW_SHARD and ev.delay > 0:
+                            time.sleep(ev.delay)
+                    crash_injected = any(
+                        ev.kind == WORKER_CRASH for ev in events
+                    )
+                    if breaker is not None and not breaker.allow():
+                        degraded = True
+                    else:
+                        try:
+                            if crash_injected and workers is not None:
+                                # Real kill: dispatch below observes the
+                                # corpse, respawns, retries — the
+                                # survivable crash path.
+                                crash_shard_worker(workers, shard.shard_id)
+                            with shard.lock:
+                                depth_samples.append(tasks.qsize())
+                                if crash_injected and workers is None:
+                                    raise WorkerCrashError(
+                                        f"shard {shard.shard_id}: injected "
+                                        "worker crash"
+                                    )
+                                if workers is not None:
+                                    flags_part, hom_adds, crashes = (
+                                        self._run_shard_task_process(
+                                            shard, job, workers
+                                        )
+                                    )
+                                    if crashes:
+                                        with trace_lock:
+                                            batch_crashes[0] += crashes
+                                elif job.fused:
+                                    flags_part, hom_adds = (
+                                        self._run_shard_task_fused(shard, job)
+                                    )
+                                else:
+                                    blocks = self._run_shard_task(shard, job)
+                                    hom_adds = len(blocks)
+                            if breaker is not None:
+                                if crashes:
+                                    breaker.record_failure()
+                                else:
+                                    breaker.record_success()
+                        except WorkerCrashError:
+                            if breaker is not None:
+                                breaker.record_failure()
+                            if self.degraded_mode != "partial":
+                                raise
+                            degraded = True
+                    if degraded:
+                        with job.lock:
+                            job.degraded.add(shard.shard_id)
+                            job.remaining -= 1
+                            last = job.remaining == 0
+                    else:
+                        with trace_lock:
+                            traces.append(
+                                # Every batch task enters the queue at t=0;
+                                # the device model must not inherit the
+                                # Python driver's pacing.
+                                ShardTaskTrace(
+                                    query_index=job.index,
+                                    shard_id=shard.shard_id,
+                                    hom_adds=hom_adds,
+                                )
                             )
-                            blocks = None
-                            if crashes:
-                                with trace_lock:
-                                    batch_crashes[0] += crashes
-                        elif job.fused:
-                            flags_part, hom_adds = self._run_shard_task_fused(
-                                shard, job
-                            )
-                            blocks = None
-                        else:
-                            blocks = self._run_shard_task(shard, job)
-                            hom_adds = len(blocks)
-                    with trace_lock:
-                        traces.append(
-                            # Every batch task enters the queue at t=0;
-                            # the device model must not inherit the
-                            # Python driver's pacing.
-                            ShardTaskTrace(
-                                query_index=job.index,
-                                shard_id=shard.shard_id,
-                                hom_adds=hom_adds,
-                            )
-                        )
-                    with job.lock:
-                        if blocks is None:
-                            job.flag_parts[shard.shard_id] = flags_part
-                        else:
-                            job.blocks.extend(blocks)
-                        job.remaining -= 1
-                        last = job.remaining == 0
+                        with job.lock:
+                            if flags_part is not None:
+                                job.flag_parts[shard.shard_id] = flags_part
+                            elif blocks is not None:
+                                job.blocks.extend(blocks)
+                            job.remaining -= 1
+                            last = job.remaining == 0
                     if last:
                         # This worker finalizes the query so decode
                         # overlaps other queries' Hom-Adds.
@@ -461,9 +557,15 @@ class ShardedSearchEngine:
                     alive=(
                         workers.shard_alive(shard.shard_id) if workers else True
                     ),
+                    breaker=(
+                        self._breakers[shard.shard_id].state
+                        if shard.shard_id in self._breakers
+                        else "closed"
+                    ),
                 )
             )
 
+        batch_degraded = sorted({sid for job in jobs for sid in job.degraded})
         return ServeReport(
             reports=[job.report for job in order],
             num_shards=len(self.shards),
@@ -483,6 +585,8 @@ class ShardedSearchEngine:
             executor=exec_kind,
             worker_restarts=batch_crashes[0],
             sheds=self.scheduler.sheds,
+            admit_rejected=self.scheduler.admit_rejected,
+            degraded_shards=batch_degraded,
         )
 
     # -- executor machinery ----------------------------------------------
@@ -523,6 +627,19 @@ class ShardedSearchEngine:
         completed on a respawned worker — degraded latency, not data)."""
         workers = self._process_executor
         return workers.degraded_tasks if workers is not None else 0
+
+    @property
+    def degraded_shards(self) -> List[int]:
+        """Shards whose circuit breaker is currently not closed (the
+        service surfaces the count in the STATS frame)."""
+        return sorted(
+            shard_id
+            for shard_id, breaker in self._breakers.items()
+            if breaker.state != "closed"
+        )
+
+    def breaker_for(self, shard_id: int) -> Optional[CircuitBreaker]:
+        return self._breakers.get(shard_id)
 
     def _worker_specs(self) -> List[ShardWorkerSpec]:
         det_seed = None
@@ -769,7 +886,10 @@ class ShardedSearchEngine:
     # -- result merge + decode -------------------------------------------
 
     def _finalize(self, job: _QueryJob, *, verify: bool) -> SearchReport:
-        """Merge per-shard results and decode exactly like the pipeline."""
+        """Merge per-shard results and decode exactly like the pipeline.
+        Shards in ``job.degraded`` contributed nothing; the missing
+        blocks decode as all-zero flags (no candidates) and the report
+        carries their ids so callers see the result is partial."""
         if job.fused:
             return self._finalize_fused(job, verify=verify)
         blocks = sorted(job.blocks, key=lambda b: (b.variant_index, b.poly_index))
@@ -793,29 +913,42 @@ class ShardedSearchEngine:
             hom_additions=len(blocks),
             num_variants=job.prepared.num_variants,
             encrypted_db_bytes=self.db.serialized_bytes,
+            degraded_shards=tuple(sorted(job.degraded)),
         )
 
     def _finalize_fused(self, job: _QueryJob, *, verify: bool) -> SearchReport:
         """Stitch the per-shard flag slices back into the global
         ``(V, P, n)`` grid (global polynomial order, so cross-shard runs
-        decode exactly like a single-engine pass) and decode."""
+        decode exactly like a single-engine pass) and decode.  Degraded
+        shards left no slice; their span stays all-False, so live-shard
+        matches decode normally and dead-shard offsets simply cannot
+        match."""
         num_variants = job.prepared.num_variants
         num_polys = self.db.num_polynomials
-        flags = np.empty((num_variants, num_polys, self.db.n), dtype=bool)
+        live_polys = num_polys
+        if job.degraded:
+            flags = np.zeros((num_variants, num_polys, self.db.n), dtype=bool)
+        else:
+            flags = np.empty((num_variants, num_polys, self.db.n), dtype=bool)
         for shard in self.shards:
+            part = job.flag_parts.get(shard.shard_id)
+            if part is None:
+                live_polys -= shard.num_polynomials
+                continue
             flags[
                 :, shard.base_poly : shard.base_poly + shard.num_polynomials
-            ] = job.flag_parts[shard.shard_id]
+            ] = part
         if self._comparator is None:
             # same logical decrypt count as the per-block object decode
-            self.client.ctx.counter.decryptions += num_variants * num_polys
+            self.client.ctx.counter.decryptions += num_variants * live_polys
         candidates = self.client.decode_flags_matrix(
             job.prepared, flags, self.db, verify=verify
         )
         return SearchReport(
             matches=[c.offset for c in candidates],
             candidates=candidates,
-            hom_additions=num_variants * num_polys,
+            hom_additions=num_variants * live_polys,
             num_variants=num_variants,
             encrypted_db_bytes=self.db.serialized_bytes,
+            degraded_shards=tuple(sorted(job.degraded)),
         )

@@ -311,12 +311,13 @@ class ProcessShardExecutor:
     def shard_alive(self, shard_id: int) -> bool:
         return self._handles[shard_id].alive
 
-    # -- fault injection (tests) ------------------------------------------
+    # -- fault injection (repro.faults hook API) ---------------------------
 
-    def inject_crash(self, shard_id: int) -> None:
+    def crash_worker(self, shard_id: int) -> None:
         """Kill one worker the hard way (``os._exit`` in the child) and
         wait for the corpse, so the next task deterministically observes
-        a dead shard mid-batch."""
+        a dead shard mid-batch.  This is the executor side of the
+        shared :func:`repro.faults.crash_shard_worker` hook."""
         handle = self._handles[shard_id]
         try:
             handle.send(("crash",))
@@ -324,6 +325,19 @@ class ProcessShardExecutor:
             return
         if handle.process is not None:
             handle.process.join(timeout=5.0)
+
+    def inject_crash(self, shard_id: int) -> None:
+        """Deprecated alias for :meth:`crash_worker` (the pre-
+        ``repro.faults`` ad-hoc test hook)."""
+        import warnings
+
+        warnings.warn(
+            "ProcessShardExecutor.inject_crash is deprecated; use "
+            "crash_worker (or repro.faults.crash_shard_worker)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.crash_worker(shard_id)
 
     # -- shutdown ---------------------------------------------------------
 

@@ -41,6 +41,8 @@ class ShardStats:
     restarts: int = 0
     #: worker liveness at batch end (always True for threads)
     alive: bool = True
+    #: circuit-breaker state at batch end ("closed" / "open" / "half-open")
+    breaker: str = "closed"
 
     def wall_utilization(self, wall_seconds: float) -> float:
         return self.busy_seconds / wall_seconds if wall_seconds > 0 else 0.0
@@ -77,6 +79,12 @@ class ServeReport:
     #: end (cumulative over the engine's life; recorded by the network
     #: front end's oldest-deadline policy, 0 for purely in-process use)
     sheds: int = 0
+    #: fail-fast rejects by the adaptive admission controller at batch
+    #: end (cumulative, like :attr:`sheds`; 0 without a controller)
+    admit_rejected: int = 0
+    #: shards that contributed nothing to this batch (circuit breaker
+    #: open / terminal worker crash under partial-results mode)
+    degraded_shards: List[int] = field(default_factory=list)
 
     @property
     def dead_shards(self) -> int:
@@ -130,6 +138,11 @@ class ServeReport:
             ("executor", self.executor),
             ("worker restarts", self.worker_restarts),
             ("sheds (admission)", self.sheds),
+            ("admit rejected", self.admit_rejected),
+            (
+                "degraded shards",
+                ",".join(map(str, self.degraded_shards)) or "none",
+            ),
             ("encrypted DB", format_bytes(self.encrypted_db_bytes)),
             ("wall time", f"{self.wall_seconds * 1e3:.1f} ms"),
             ("throughput", f"{self.throughput_qps:.1f} q/s"),
@@ -176,6 +189,7 @@ class ServeReport:
                     "hom_additions": r.hom_additions,
                     "num_variants": r.num_variants,
                     "encrypted_db_bytes": r.encrypted_db_bytes,
+                    "degraded_shards": list(r.degraded_shards),
                 }
                 for r in self.reports
             ],
@@ -202,6 +216,8 @@ class ServeReport:
             "executor": self.executor,
             "worker_restarts": self.worker_restarts,
             "sheds": self.sheds,
+            "admit_rejected": self.admit_rejected,
+            "degraded_shards": list(self.degraded_shards),
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -224,6 +240,9 @@ class ServeReport:
                 hom_additions=int(r["hom_additions"]),
                 num_variants=int(r["num_variants"]),
                 encrypted_db_bytes=int(r["encrypted_db_bytes"]),
+                degraded_shards=tuple(
+                    int(s) for s in r.get("degraded_shards", ())
+                ),
             )
             for r in obj["reports"]
         ]
@@ -254,6 +273,10 @@ class ServeReport:
             executor=obj.get("executor", "thread"),
             worker_restarts=int(obj.get("worker_restarts", 0)),
             sheds=int(obj.get("sheds", 0)),
+            admit_rejected=int(obj.get("admit_rejected", 0)),
+            degraded_shards=[
+                int(s) for s in obj.get("degraded_shards", [])
+            ],
         )
 
     @classmethod
@@ -274,6 +297,7 @@ class ServeReport:
                     f"{s.modeled_utilization * 100:.0f}%",
                     s.restarts,
                     "up" if s.alive else "DOWN",
+                    s.breaker,
                 ]
             )
         return format_table(
@@ -288,6 +312,7 @@ class ServeReport:
                 "modeled util",
                 "restarts",
                 "worker",
+                "breaker",
             ),
             rows,
         )

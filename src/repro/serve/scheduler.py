@@ -56,10 +56,19 @@ class ServeScheduler:
         #: model never saw, accounted here so capacity planning can
         #: compare executed vs offered load.
         self.sheds = 0
+        #: queries rejected fail-fast by the adaptive admission
+        #: controller (ERR_ADMIT) — distinct from queue-pressure sheds:
+        #: these were never admitted, so no queue slot or deadline was
+        #: ever consumed on their behalf.
+        self.admit_rejected = 0
 
     def record_shed(self, count: int = 1) -> None:
         """Account ``count`` admission-control rejections."""
         self.sheds += count
+
+    def record_admit_rejected(self, count: int = 1) -> None:
+        """Account ``count`` fail-fast admission rejections."""
+        self.admit_rejected += count
 
     def placement(self, shard_id: int) -> Tuple[int, int]:
         """(channel, die) for a shard: distinct channels first, so shards

@@ -318,6 +318,8 @@ def test_stats_roundtrip():
         dead_shard_degradations=1,
         report_text="== serving batch report ==\n...",
         report_json='{"version": 1, "sheds": 4}',
+        admit_rejected=6,
+        degraded_shards=1,
     )
     assert codec.decode_stats(codec.encode_stats(stats)) == stats
 
