@@ -23,6 +23,14 @@ standalone (``python benchmarks/bench_load.py``) or under pytest.
 ``--quick`` shrinks the request counts and **exits non-zero if any
 gate fails** — the CI bench-smoke gate.
 
+``--tenant-lane`` runs the multi-tenant fair-share lane instead: four
+tenants (distinct keypairs/databases/caches) share one service, one
+driven hot through a 2-state MMPP burst while three cold tenants
+trickle Poisson traffic; each cold tenant's combined p99 must stay
+within ``TENANT_P99_RATIO``x its solo (uncontended) baseline, and the
+per-tenant STATS rows must partition the global counters.  Artifacts:
+``benchmarks/out/tenant_slo.{txt,json}``.
+
 All RNG seeds are pinned (--seed, default 11) so the CI gate replays
 the exact same workload on every run.
 """
@@ -64,6 +72,21 @@ BUDGET_FACTOR = 25.0
 BUDGET_FLOOR_S = 1.0
 #: shed + admit-rejected fraction the MMPP burst lane may not exceed
 REJECT_RATE_CAP = 0.30
+#: multi-tenant lane: cold tenants trickle at this fraction of the
+#: sustainable rate while the hot tenant bursts at 1x through an MMPP
+TENANT_COLD_FACTOR = 0.3
+#: a cold tenant's combined p99 may not exceed this multiple of its
+#: solo (uncontended) p99 ...
+TENANT_P99_RATIO = 2.0
+#: ... floored so scheduler jitter at quick-lane request counts cannot
+#: flake CI when the solo baseline is a handful of milliseconds
+TENANT_P99_FLOOR_MS = 500.0
+#: the hot tenant's private p99 admission budget (seconds): generous
+#: against the ~tens-of-ms closed-loop latency, tight enough that a
+#: sustained 4x MMPP burst sheds fail-fast instead of queueing into
+#: every tenant's tail (admit-rejects stay in the hot lane's 4-term
+#: accounting; there is no shed-count gate so CI stays deterministic)
+TENANT_HOT_P99_BUDGET_S = 0.25
 
 
 def _trace_signature(trace: LoadTrace):
@@ -215,6 +238,234 @@ def resilience_lanes(
             )
 
     return slo_burst, slo_chaos, stats, budget, fired
+
+
+def tenant_lanes(scenario_key: str, seed: int, quick: bool, failures: list):
+    """The fair-share lane behind ``benchmarks/out/tenant_slo.*``.
+
+    Four tenants share one multi-tenant service (distinct keypairs,
+    databases and caches): three cold tenants trickle Poisson traffic
+    at ``TENANT_COLD_FACTOR``x sustainable while the hot tenant bursts
+    at 1x through a 2-state MMPP.  Each cold tenant first replays its
+    trace *alone* to establish a solo baseline.  Gates: exact per-lane
+    accounting with zero failures / oracle mismatches, per-tenant STATS
+    rows that partition the global counters, and every cold tenant's
+    combined p99 within ``TENANT_P99_RATIO``x its solo p99 (floored at
+    ``TENANT_P99_FLOOR_MS``) — the fairness-isolation contract.
+    """
+    import threading
+
+    from repro.tenancy import TenantQuota, TenantRegistry, TenantSpec
+
+    n_probe = 4 if quick else 8
+    n_cold = 16 if quick else 50
+    n_hot = 48 if quick else 150
+    cold_ids = ("cold-a", "cold-b", "cold-c")
+    tenant_ids = ("hot",) + cold_ids
+
+    # the hot tenant runs under its own p99 admission budget, so its
+    # bursts shed fail-fast instead of queueing into everyone's tail;
+    # cold tenants carry no budget (their trickle never needs one)
+    specs = [
+        TenantSpec(
+            tenant_id="hot",
+            key_seed=41,
+            quota=TenantQuota(p99_budget=TENANT_HOT_P99_BUDGET_S),
+        )
+    ] + [TenantSpec.parse(f"{t}:{42 + i}") for i, t in enumerate(cold_ids)]
+    registry = TenantRegistry(
+        specs,
+        params=BFVParams.test_small(64),
+        num_shards=NUM_SHARDS,
+        executor="process",
+        global_cache_bytes=8 << 20,
+    )
+    scenarios = {
+        t: SCENARIO_REGISTRY.create(scenario_key, seed=seed + i)
+        for i, t in enumerate(tenant_ids)
+    }
+    solo_p99 = {}
+    lanes = {}
+    drive_errors = []
+    try:
+        with ServiceThread(tenants=registry) as service:
+            targets = {
+                t: RemoteTarget(
+                    Client(service.address, pool_size=1, tenant=t),
+                    owns_client=True,
+                )
+                for t in tenant_ids
+            }
+            try:
+                target_desc = targets["hot"].describe()
+                for t, target in targets.items():
+                    target.outsource(scenarios[t].db_bits())
+
+                # closed-loop probe on the hot tenant: sustainable rate
+                probe = [
+                    ev.request
+                    for ev in generate_trace(
+                        scenarios["hot"],
+                        PoissonArrivals(),
+                        100.0,
+                        max_requests=n_probe + 1,
+                    ).events
+                ]
+                hot = targets["hot"]
+                hot.submit(probe[0], None).result()  # warm the worker pool
+                t0 = time.perf_counter()
+                for request in probe[1:]:
+                    hot.submit(request, None).result()
+                sustainable = n_probe / (time.perf_counter() - t0)
+
+                traces = {
+                    t: generate_trace(
+                        scenarios[t],
+                        PoissonArrivals(),
+                        TENANT_COLD_FACTOR * sustainable,
+                        max_requests=n_cold,
+                    )
+                    for t in cold_ids
+                }
+                traces["hot"] = generate_trace(
+                    scenarios["hot"],
+                    BurstyArrivals(),
+                    sustainable,
+                    max_requests=n_hot,
+                )
+
+                # solo baselines: each cold tenant alone on the service
+                for t in cold_ids:
+                    slo = ScenarioSlo.from_run(
+                        traces[t], run_trace(traces[t], targets[t])
+                    )
+                    solo_p99[t] = slo.p99_ms
+
+                # combined: the hot tenant bursts while every cold
+                # tenant replays the trace it just ran uncontended
+                def drive(t):
+                    try:
+                        lanes[t] = ScenarioSlo.from_run(
+                            traces[t], run_trace(traces[t], targets[t])
+                        )
+                    except BaseException as exc:  # noqa: BLE001
+                        drive_errors.append((t, repr(exc)))
+
+                threads = [
+                    threading.Thread(target=drive, args=(t,))
+                    for t in tenant_ids
+                ]
+                for th in threads:
+                    th.start()
+                for th in threads:
+                    th.join()
+                stats = targets["hot"].stats()
+            finally:
+                for target in targets.values():
+                    target.close()
+    finally:
+        registry.close_all()
+
+    for t, err in drive_errors:
+        failures.append(f"tenant-lane {t}: combined run died: {err}")
+    for t in tenant_ids:
+        slo = lanes.get(t)
+        if slo is None:
+            continue  # already reported via drive_errors
+        if not slo.balanced:
+            failures.append(
+                f"tenant-lane {t}: offered {slo.offered} != completed "
+                f"{slo.completed} + shed {slo.shed} + admit_rejected "
+                f"{slo.admit_rejected} + failed {slo.failed}"
+            )
+        if slo.failed:
+            failures.append(f"tenant-lane {t}: {slo.failed} request(s) failed")
+        if slo.mismatches:
+            failures.append(
+                f"tenant-lane {t}: {slo.mismatches} oracle mismatch(es) "
+                f"(cross-tenant result leakage?)"
+            )
+    rows = dict(stats.get("tenants", {}) or {})
+    if set(rows) >= set(tenant_ids):
+        if sum(r["completed"] for r in rows.values()) != int(
+            stats.get("service_completed", -1) or 0
+        ):
+            failures.append(
+                "tenant-lane: per-tenant STATS rows do not partition the "
+                "global completed counter"
+            )
+    else:
+        failures.append(
+            f"tenant-lane: STATS missing tenant rows (got {sorted(rows)})"
+        )
+    for t in cold_ids:
+        if t not in lanes or t not in solo_p99:
+            continue
+        cap = max(TENANT_P99_RATIO * solo_p99[t], TENANT_P99_FLOOR_MS)
+        if lanes[t].p99_ms > cap:
+            failures.append(
+                f"tenant-lane {t}: combined p99 {lanes[t].p99_ms:.0f} ms "
+                f"> {cap:.0f} ms cap (solo {solo_p99[t]:.0f} ms x "
+                f"{TENANT_P99_RATIO:g}, floor {TENANT_P99_FLOOR_MS:.0f} ms)"
+            )
+    return lanes, solo_p99, rows, stats, sustainable, target_desc, tenant_ids
+
+
+def run_tenant(quick: bool, seed: int) -> int:
+    """Multi-tenant fair-share gate (``--tenant-lane``)."""
+    failures = []
+    lanes, solo_p99, rows, stats, sustainable, target_desc, tenant_ids = (
+        tenant_lanes("database", seed, quick, failures)
+    )
+    report = LoadReport(
+        target=f"{target_desc} x{len(tenant_ids)} tenants",
+        arrival="mmpp(hot)+poisson(cold)",
+        rate=sustainable,
+        seed=seed,
+        scenarios=[
+            dataclasses.replace(
+                lanes[t],
+                scenario=(
+                    "hot mmpp@1.0x"
+                    if t == "hot"
+                    else f"{t} poisson@{TENANT_COLD_FACTOR:.1f}x"
+                ),
+            )
+            for t in tenant_ids
+            if t in lanes
+        ],
+        executor=str(stats.get("executor", "")),
+        worker_restarts=int(stats.get("worker_restarts", 0) or 0),
+        scheduler_sheds=int(stats.get("scheduler_sheds", 0) or 0),
+        tenants=rows,
+    )
+    emit("tenant_slo", report.table())
+    payload = report.to_dict()
+    payload["solo_p99_ms"] = solo_p99
+    payload["p99_ratio_cap"] = TENANT_P99_RATIO
+    payload["p99_floor_ms"] = TENANT_P99_FLOOR_MS
+    (OUT_DIR / "tenant_slo.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 1
+    cold = [t for t in tenant_ids if t != "hot"]
+    print(
+        f"tenant gate OK: sustainable ~{sustainable:.0f} q/s; hot completed "
+        f"{lanes['hot'].completed}/{lanes['hot'].offered} under MMPP burst "
+        f"({lanes['hot'].shed + lanes['hot'].admit_rejected} shed/admit-"
+        f"rejected by its private budget); "
+        + "; ".join(
+            f"{t} p99 {lanes[t].p99_ms:.0f} ms (solo {solo_p99[t]:.0f} ms)"
+            for t in cold
+        )
+        + f"; per-tenant accounting partitions "
+        f"{int(stats['service_completed'])} completed"
+    )
+    return 0
 
 
 def run(quick: bool, seed: int) -> int:
@@ -382,6 +633,12 @@ def test_emit_load_slo(benchmark):
     assert run(quick=True, seed=11) == 0
 
 
+def test_emit_tenant_slo(benchmark):
+    """Pytest entry point for the multi-tenant fair-share lane."""
+    benchmark(lambda: None)
+    assert run_tenant(quick=True, seed=11) == 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -394,7 +651,16 @@ def main() -> int:
         help="scenario + arrival + key seed (default: 11, pinned so CI "
         "runs are reproducible)",
     )
+    parser.add_argument(
+        "--tenant-lane", action="store_true",
+        help="run only the multi-tenant fair-share lane: 4 tenants on one "
+        "service, one hot MMPP burster; writes benchmarks/out/"
+        "tenant_slo.{txt,json} and exits non-zero if any cold tenant's "
+        f"combined p99 exceeds {TENANT_P99_RATIO:g}x its solo baseline",
+    )
     args = parser.parse_args()
+    if args.tenant_lane:
+        return run_tenant(quick=args.quick, seed=args.seed)
     return run(quick=args.quick, seed=args.seed)
 
 

@@ -77,6 +77,12 @@ def _search(args: argparse.Namespace) -> int:
             return 2
         args.engine = "remote"
         engine_kwargs["address"] = args.remote
+        if args.tenant:
+            engine_kwargs["tenant"] = args.tenant
+    elif args.tenant:
+        print("error: --tenant requires --remote (a multi-tenant serve-net "
+              "service routes by tenant id)")
+        return 2
     elif args.engine is None:
         args.engine = "bfv"
     try:
@@ -305,26 +311,85 @@ def _serve_net(args: argparse.Namespace) -> int:
     if args.degraded_mode is not None:
         engine_kwargs["degraded_mode"] = args.degraded_mode
 
+    registry = None
+    if args.tenants:
+        from dataclasses import replace
+
+        from repro.tenancy import TenantRegistry, TenantSpec
+
+        # one engine stack per tenant, all sharing the CLI's engine
+        # configuration; each spec carries its own key seed + weight
+        tenant_kwargs = dict(engine_kwargs)
+        tenant_kwargs.pop("key_seed", None)  # per-spec, never shared
+        try:
+            specs = [
+                TenantSpec.parse(text)
+                for text in args.tenants.split(",")
+                if text.strip()
+            ]
+            if not specs:
+                raise ValueError("--tenants needs at least one spec")
+            if args.p99_budget is not None:
+                specs = [
+                    replace(
+                        s, quota=replace(s.quota, p99_budget=args.p99_budget)
+                    )
+                    for s in specs
+                ]
+            registry = TenantRegistry(
+                specs,
+                global_cache_bytes=args.tenant_cache_budget,
+                default_engine=args.engine,
+                **tenant_kwargs,
+            )
+        except (TypeError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     async def main() -> int:
-        service = AsyncSearchService(
-            args.engine,
-            host=args.host,
-            port=args.port,
-            max_in_flight=args.max_in_flight,
-            admission=args.p99_budget,
-            fault_plan=args.fault_plan or None,
-            **engine_kwargs,
-        )
-        if args.db_text:
-            service.session.outsource(text_to_bits(args.db_text))
-        host, port = await service.start()
-        print(
-            f"serving engine {args.engine!r} "
-            f"({args.shards} shards) on {host}:{port} "
-            f"(db: {service.session.db_bit_length or 0} bits outsourced; "
-            f"SIGTERM drains gracefully)",
-            flush=True,
-        )
+        if registry is not None:
+            service = AsyncSearchService(
+                host=args.host,
+                port=args.port,
+                max_in_flight=args.max_in_flight,
+                admission=args.p99_budget,
+                fault_plan=args.fault_plan or None,
+                tenants=registry,
+            )
+            if args.db_text:
+                bits = text_to_bits(args.db_text)
+                for tenant_id in registry.ids():
+                    registry.outsource(tenant_id, bits)
+            host, port = await service.start()
+            db_bits = registry.tenants()[0].session.db_bit_length or 0
+            print(
+                f"serving engine {args.engine!r} "
+                f"({args.shards} shards) on {host}:{port} "
+                f"({len(registry)} tenants: {', '.join(registry.ids())}; "
+                f"db: {db_bits} bits outsourced per tenant; "
+                f"SIGTERM drains gracefully)",
+                flush=True,
+            )
+        else:
+            service = AsyncSearchService(
+                args.engine,
+                host=args.host,
+                port=args.port,
+                max_in_flight=args.max_in_flight,
+                admission=args.p99_budget,
+                fault_plan=args.fault_plan or None,
+                **engine_kwargs,
+            )
+            if args.db_text:
+                service.session.outsource(text_to_bits(args.db_text))
+            host, port = await service.start()
+            print(
+                f"serving engine {args.engine!r} "
+                f"({args.shards} shards) on {host}:{port} "
+                f"(db: {service.session.db_bit_length or 0} bits outsourced; "
+                f"SIGTERM drains gracefully)",
+                flush=True,
+            )
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGTERM, signal.SIGINT):
             loop.add_signal_handler(sig, service.begin_drain)
@@ -340,6 +405,9 @@ def _serve_net(args: argparse.Namespace) -> int:
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if registry is not None:
+            registry.close_all()  # idempotent; covers bind failures
 
 
 def _load(args: argparse.Namespace) -> int:
@@ -396,6 +464,10 @@ def _load(args: argparse.Namespace) -> int:
     if args.record is not None and len(scenario_keys) != 1:
         print("error: --record needs a single --scenario (not 'all')")
         return 2
+    if args.tenant and args.remote is None:
+        print("error: --tenant requires --remote (a multi-tenant "
+              "serve-net service routes by tenant id)")
+        return 2
 
     # -- build scenarios + traces ----------------------------------------
     scenarios = {}
@@ -447,7 +519,9 @@ def _load(args: argparse.Namespace) -> int:
     # -- drive each scenario against its own target ----------------------
     def make_target(scenario):
         if args.remote is not None:
-            client = Client(args.remote, pool_size=args.pool_size)
+            client = Client(
+                args.remote, pool_size=args.pool_size, tenant=args.tenant
+            )
             return RemoteTarget(
                 client, owns_client=True, retry=retry_policy
             )
@@ -513,6 +587,7 @@ def _load(args: argparse.Namespace) -> int:
         executor=str(stats.get("executor", "")),
         worker_restarts=int(stats.get("worker_restarts", 0) or 0),
         scheduler_sheds=int(stats.get("scheduler_sheds", 0) or 0),
+        tenants=dict(stats.get("tenants", {}) or {}),
     )
     print(report.table())
     if args.json is not None:
@@ -608,6 +683,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the search against a `python -m repro serve-net` "
         "service instead of a local engine (outsources --db-text over "
         "the wire first)",
+    )
+    p_search.add_argument(
+        "--tenant", default="",
+        help="tenant id to bind the connection to (multi-tenant "
+        "serve-net services only; requires --remote)",
     )
     p_search.set_defaults(func=_search)
 
@@ -721,6 +801,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-connection in-flight bound before oldest-deadline "
         "shedding (default: 64)",
     )
+    p_serve_net.add_argument(
+        "--tenants", default="",
+        help="serve multiple tenants from one service: comma-separated "
+        "'id:key_seed[:weight]' specs (e.g. 'alice:11,bob:22:2.0'). "
+        "Each tenant gets its own keypair, database and cache; "
+        "requests dispatch through a weighted fair queue, and "
+        "--p99-budget becomes a per-tenant admission budget",
+    )
+    p_serve_net.add_argument(
+        "--tenant-cache-budget", type=int, default=None,
+        help="fleet-wide variant-cache byte budget shared across "
+        "tenants (cross-tenant LRU pressure; default: no shared bound)",
+    )
     p_serve_net.set_defaults(func=_serve_net)
 
     p_load = sub.add_parser(
@@ -781,6 +874,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument(
         "--pool-size", type=int, default=2,
         help="client connection-pool size for --remote (default: 2)",
+    )
+    p_load.add_argument(
+        "--tenant", default="",
+        help="tenant id to bind --remote connections to (multi-tenant "
+        "serve-net services only)",
     )
     p_load.add_argument(
         "--fault-plan", default="",

@@ -359,6 +359,8 @@ class ShardedEngine(Engine):
         degraded_mode: str = "fail",
         breaker_threshold: int = 3,
         breaker_cooldown: float = 5.0,
+        cache=None,
+        tenant: str = "",
     ):
         # Imported here: repro.serve sits above repro.core in the layer
         # stack and pulling it at module import would be circular-ish
@@ -386,6 +388,8 @@ class ShardedEngine(Engine):
             degraded_mode=degraded_mode,
             breaker_threshold=breaker_threshold,
             breaker_cooldown=breaker_cooldown,
+            cache=cache,
+            tenant=tenant,
         )
         #: full :class:`~repro.serve.report.ServeReport` of the most
         #: recent batch (wall/modeled latency percentiles, cache stats).

@@ -60,8 +60,10 @@ def _as_request(request: RequestLike, verify: VerifyLike = None) -> SearchReques
 class Session:
     """One open engine: database, keys, caches, and a dispatch loop."""
 
-    def __init__(self, engine: Engine):
+    def __init__(self, engine: Engine, tenant: Optional[str] = None):
         self.engine = engine
+        #: tenant id this session serves under ("" = single-tenant)
+        self.tenant = tenant or ""
         self._queue: "queue_mod.Queue" = queue_mod.Queue()
         self._dispatcher: Optional[threading.Thread] = None
         self._lock = threading.Lock()
@@ -275,6 +277,7 @@ def open_session(
     *,
     db_bits=None,
     registry=None,
+    tenant=None,
     **engine_kwargs,
 ) -> Session:
     """One call from engine name to ready-to-search session.
@@ -303,8 +306,23 @@ def open_session(
     else:
         from .registry import DEFAULT_REGISTRY
 
-        built = (registry or DEFAULT_REGISTRY).create(engine, **engine_kwargs)
-    session = Session(built)
+        reg = registry or DEFAULT_REGISTRY
+        if tenant:
+            # Engines that declare a ``tenant`` parameter (the remote
+            # client binds it at HELLO; the sharded engine stamps its
+            # serve reports) receive the session's tenant identity.
+            import inspect
+
+            try:
+                factory_params = inspect.signature(
+                    reg.spec(engine).factory
+                ).parameters
+            except (TypeError, ValueError):
+                factory_params = {}
+            if "tenant" in factory_params:
+                engine_kwargs.setdefault("tenant", tenant)
+        built = reg.create(engine, **engine_kwargs)
+    session = Session(built, tenant=tenant)
     if db_bits is not None:
         session.outsource(db_bits)
     return session

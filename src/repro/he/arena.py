@@ -672,16 +672,15 @@ class CiphertextArena:
         kernel reclaims the memory once the last mapping drops.
         Attached (non-owning) arenas only close their mapping lazily
         via GC as before; this is a no-op for them and for arenas that
-        never shared.
+        never shared.  The released blocks stay referenced by the arena
+        (a later ``share()`` replaces them) so the mapping they pin
+        outlives every local view.
         """
         with self._lock:
-            blocks = self._blocks or ()
-            owned = [b for b in blocks if getattr(b, "_finalizer", None)]
-            kept = [b for b in blocks if not getattr(b, "_finalizer", None)]
-            self._blocks = kept or None
+            blocks = list(self._blocks or ())
             self._shared_handle = None
-        for block in owned:
-            block._finalizer()
+        for block in blocks:
+            block.release()
 
     @classmethod
     def attach_shared(
@@ -756,8 +755,41 @@ class _SharedBlock:
         self.kind = kind
         self.ref = ref
         self.array = array
-        if cleanup is not None:
-            self._finalizer = weakref.finalize(self, cleanup)
+        self._finalizer = (
+            weakref.finalize(self, cleanup) if cleanup is not None else None
+        )
+
+    @property
+    def owned(self) -> bool:
+        """True when this side created the segment and owns unlink."""
+        return self._finalizer is not None
+
+    @property
+    def released(self) -> bool:
+        """True once an owned block's cleanup has been claimed/run."""
+        fin = self._finalizer
+        return fin is not None and not fin.alive
+
+    def release(self) -> bool:
+        """Run this block's cleanup exactly once; returns whether this
+        call did the work.
+
+        ``weakref.finalize.detach()`` is the atomic claim: exactly one
+        caller — an eager :meth:`CiphertextArena.release_shared`, a
+        second racing release, or the GC finalizer itself — receives
+        the callback, so the segment is unlinked once no matter how
+        many shutdown paths overlap.  Non-owning (attached) blocks are
+        a no-op.
+        """
+        fin = self._finalizer
+        if fin is None:
+            return False
+        claimed = fin.detach()
+        if claimed is None:
+            return False
+        _obj, func, args, kwargs = claimed
+        func(*args, **kwargs)
+        return True
 
 
 def _create_block(shape: Tuple[int, ...], backing: str) -> _SharedBlock:
@@ -776,16 +808,20 @@ def _create_block(shape: Tuple[int, ...], backing: str) -> _SharedBlock:
             array = np.ndarray(shape, dtype=np.int64, buffer=shm.buf)
 
             def cleanup(shm=shm):
-                try:
-                    shm.close()
-                except Exception:  # buffer still exported
-                    pass
+                # Unlink the *name* only: an eager release runs while
+                # local views (the arena, shard slices) still read the
+                # pages, and ``shm.close()`` would unmap them out from
+                # under live ndarrays.  The mapping itself is closed
+                # when the block is garbage-collected (the pinned
+                # SharedMemory's ``__del__``), after the last view dies.
                 try:
                     shm.unlink()  # also unregisters from the tracker
                 except Exception:  # already gone
                     pass
 
-            return _SharedBlock("shm", shm.name, array, cleanup)
+            block = _SharedBlock("shm", shm.name, array, cleanup)
+            block._shm = shm  # pin the mapping for the views' lifetime
+            return block
     fd, path = tempfile.mkstemp(prefix="repro-arena-", suffix=".mm")
     os.close(fd)
     array = np.memmap(path, dtype=np.int64, mode="w+", shape=shape)

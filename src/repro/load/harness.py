@@ -30,6 +30,7 @@ faults are configured on the target (``serve-net --fault-plan``).
 from __future__ import annotations
 
 import abc
+import json
 import time
 import zlib
 from concurrent.futures import Future
@@ -221,6 +222,10 @@ class RemoteTarget(LoadTarget):
 
     def stats(self) -> Dict[str, object]:
         s = self.client.stats()
+        try:
+            tenants = json.loads(s.tenants_json) if s.tenants_json else {}
+        except ValueError:
+            tenants = {}
         return {
             "executor": s.executor,
             "worker_restarts": s.worker_restarts,
@@ -230,6 +235,7 @@ class RemoteTarget(LoadTarget):
             "service_failed": s.failed,
             "admit_rejected": s.admit_rejected,
             "degraded_shards": s.degraded_shards,
+            "tenants": tenants,
         }
 
     def inject_fault(self, event: FaultEvent) -> bool:

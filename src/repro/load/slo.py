@@ -105,6 +105,9 @@ class LoadReport:
     worker_restarts: int = 0
     #: admission-control sheds in ServeScheduler accounting
     scheduler_sheds: int = 0
+    #: per-tenant accounting rows from a multi-tenant service's STATS
+    #: frame ({} against single-tenant targets)
+    tenants: Dict[str, Dict] = field(default_factory=dict)
     version: int = REPORT_VERSION
 
     # -- aggregates ------------------------------------------------------
@@ -235,6 +238,7 @@ class LoadReport:
             executor=obj.get("executor", ""),
             worker_restarts=int(obj.get("worker_restarts", 0)),
             scheduler_sheds=int(obj.get("scheduler_sheds", 0)),
+            tenants=dict(obj.get("tenants", {})),
             version=version,
         )
 

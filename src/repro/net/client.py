@@ -139,9 +139,17 @@ class _Connection:
         sock.settimeout(self._client.handshake_timeout)
         write_frame_sync(
             sock,
-            Frame(FrameType.HELLO, 0, codec.encode_hello(PROTOCOL_VERSION)),
+            Frame(
+                FrameType.HELLO,
+                0,
+                codec.encode_hello(PROTOCOL_VERSION, self._client.tenant),
+            ),
         )
         frame = read_frame_sync(sock)
+        if frame is not None and frame.type is FrameType.ERROR:
+            code, message = codec.decode_error(frame.payload)
+            sock.close()
+            raise codec.error_to_exception(code, message)
         if frame is None or frame.type is not FrameType.WELCOME:
             sock.close()
             raise ConnectionError("handshake failed: no WELCOME frame")
@@ -325,10 +333,14 @@ class Client:
         request_timeout: Optional[float] = 120.0,
         handshake_timeout: Optional[float] = 30.0,
         connect_timeout: Optional[float] = 10.0,
+        tenant: str = "",
     ):
         if pool_size < 1:
             raise ValueError(f"pool_size must be >= 1, got {pool_size}")
         self.address = parse_address(address)
+        #: tenant id carried in HELLO and every request frame ("" on a
+        #: single-tenant service)
+        self.tenant = tenant
         self.max_retries = max_retries
         self.retry = RetryPolicy.coerce(retry)
         self.request_timeout = request_timeout
@@ -467,7 +479,7 @@ class Client:
         request (``None`` → use the client's).
         """
         ftype, payload = codec.encode_request(
-            _as_request(request, verify), deadline
+            _as_request(request, verify), deadline, self.tenant
         )
         policy = RetryPolicy.coerce(retry) if retry is not None else self.retry
         if policy is not None:
@@ -565,19 +577,30 @@ class AsyncClient:
         self._read_task: Optional[asyncio.Task] = None
         self._write_lock = asyncio.Lock()
         self.welcome: Optional[codec.Welcome] = None
+        self.tenant = ""
 
     @classmethod
-    async def connect(cls, address: AddressLike) -> "AsyncClient":
+    async def connect(
+        cls, address: AddressLike, *, tenant: str = ""
+    ) -> "AsyncClient":
         client = cls()
+        client.tenant = tenant
         host, port = parse_address(address)
         client._reader, client._writer = await asyncio.open_connection(
             host, port
         )
         await write_frame(
             client._writer,
-            Frame(FrameType.HELLO, 0, codec.encode_hello(PROTOCOL_VERSION)),
+            Frame(
+                FrameType.HELLO,
+                0,
+                codec.encode_hello(PROTOCOL_VERSION, tenant),
+            ),
         )
         frame = await read_frame(client._reader)
+        if frame is not None and frame.type is FrameType.ERROR:
+            code, message = codec.decode_error(frame.payload)
+            raise codec.error_to_exception(code, message)
         if frame is None or frame.type is not FrameType.WELCOME:
             raise ConnectionError("handshake failed: no WELCOME frame")
         client.welcome = codec.decode_welcome(frame.payload)
@@ -630,7 +653,7 @@ class AsyncClient:
     ) -> asyncio.Future:
         """Send one request; returns the future of its result."""
         ftype, payload = codec.encode_request(
-            _as_request(request, verify), deadline
+            _as_request(request, verify), deadline, self.tenant
         )
         return await self._send(ftype, payload)
 

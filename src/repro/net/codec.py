@@ -55,6 +55,7 @@ ERR_SHED = 3          # dropped by admission control (backpressure)
 ERR_DRAINING = 4      # service is draining; no new work accepted
 ERR_BAD_FRAME = 5     # request payload failed to decode
 ERR_ADMIT = 6         # fail-fast reject by the adaptive admission target
+ERR_TENANT = 7        # unknown tenant, or request tenant != connection tenant
 
 
 class RemoteError(RuntimeError):
@@ -72,6 +73,12 @@ class AdmissionRejectedError(RemoteError):
 
 class ServiceDrainingError(RemoteError):
     """The service is draining and accepts no new requests."""
+
+
+class TenantRejectedError(RemoteError):
+    """The service rejected the connection's or request's tenant id
+    (unregistered tenant, or a request billed to a different tenant
+    than its connection authenticated as)."""
 
 
 class ConnectionLostError(ConnectionError):
@@ -94,6 +101,8 @@ def error_to_exception(code: int, message: str) -> Exception:
         return AdmissionRejectedError(message)
     if code == ERR_DRAINING:
         return ServiceDrainingError(message)
+    if code == ERR_TENANT:
+        return TenantRejectedError(message)
     return RemoteError(message)
 
 
@@ -198,6 +207,9 @@ class _Reader:
         packed = np.frombuffer(self.raw((count + 7) // 8), dtype=np.uint8)
         return np.unpackbits(packed, count=count).astype(np.uint8)
 
+    def remaining(self) -> int:
+        return len(self._buf) - self._off
+
     def done(self) -> None:
         if self._off != len(self._buf):
             raise FramingError(
@@ -240,6 +252,8 @@ class Welcome:
     verify: bool
     max_query_bits: Optional[int]
     db_bit_length: Optional[int]
+    #: tenant the connection was bound to ("" = single-tenant service)
+    tenant: str = ""
 
 
 def encode_welcome(w: Welcome) -> bytes:
@@ -257,6 +271,7 @@ def encode_welcome(w: Welcome) -> bytes:
         .u8(flags)
         .i64(-1 if w.max_query_bits is None else w.max_query_bits)
         .i64(-1 if w.db_bit_length is None else w.db_bit_length)
+        .text(w.tenant)
         .bytes()
     )
 
@@ -267,6 +282,8 @@ def decode_welcome(payload: bytes) -> Welcome:
     engine, scheme = r.text(), r.text()
     flags = r.u8()
     max_bits, db_bits = r.i64(), r.i64()
+    # tenant was appended in protocol v2; a v1 WELCOME simply ends here
+    tenant = r.text() if r.remaining() else ""
     r.done()
     return Welcome(
         protocol_version=version,
@@ -278,18 +295,22 @@ def decode_welcome(payload: bytes) -> Welcome:
         verify=bool(flags & 8),
         max_query_bits=None if max_bits < 0 else max_bits,
         db_bit_length=None if db_bits < 0 else db_bits,
+        tenant=tenant,
     )
 
 
-def encode_hello(protocol_version: int) -> bytes:
-    return _Writer().u16(protocol_version).bytes()
+def encode_hello(protocol_version: int, tenant: str = "") -> bytes:
+    return _Writer().u16(protocol_version).text(tenant).bytes()
 
 
-def decode_hello(payload: bytes) -> int:
+def decode_hello(payload: bytes) -> Tuple[int, str]:
+    """Returns ``(protocol_version, tenant)``.  A protocol-v1 HELLO is
+    just the 2-byte version; its tenant decodes as ""."""
     r = _Reader(payload)
     version = r.u16()
+    tenant = r.text() if r.remaining() else ""
     r.done()
-    return version
+    return version, tenant
 
 
 # -- database outsourcing -----------------------------------------------------
@@ -321,24 +342,29 @@ def decode_outsource_ok(payload: bytes) -> int:
 
 
 def encode_request(
-    request: SearchRequest, deadline: Optional[float] = None
+    request: SearchRequest,
+    deadline: Optional[float] = None,
+    tenant: str = "",
 ) -> Tuple[FrameType, bytes]:
     """Serialize one facade request; returns (frame type, payload).
 
     ``deadline`` is a relative latency budget in seconds; the server
-    uses it for oldest-deadline shedding under backpressure.
+    uses it for oldest-deadline shedding under backpressure.  ``tenant``
+    names the tenant the request bills to (must match the connection's
+    HELLO tenant on a multi-tenant service; "" inherits it).
     """
     if isinstance(request, ExactSearch):
         w = _Writer().u8(_policy_byte(request.verify))
-        w.f64(_deadline_f64(deadline)).bits(request.bits)
+        w.f64(_deadline_f64(deadline)).text(tenant).bits(request.bits)
         return FrameType.SEARCH, w.bytes()
     if isinstance(request, WildcardSearch):
         w = _Writer().u8(_policy_byte(request.verify))
-        w.f64(_deadline_f64(deadline)).bits(request.bits).bits(request.mask)
+        w.f64(_deadline_f64(deadline)).text(tenant)
+        w.bits(request.bits).bits(request.mask)
         return FrameType.WILDCARD, w.bytes()
     if isinstance(request, BatchSearch):
         w = _Writer().u8(_policy_byte(request.verify))
-        w.f64(_deadline_f64(deadline)).u32(request.num_queries)
+        w.f64(_deadline_f64(deadline)).text(tenant).u32(request.num_queries)
         for query in request.queries:
             w.u8(_policy_byte(query.verify)).bits(query.bits)
         return FrameType.BATCH, w.bytes()
@@ -349,11 +375,13 @@ def encode_request(
 
 def decode_request(
     ftype: FrameType, payload: bytes
-) -> Tuple[SearchRequest, Optional[float]]:
-    """Inverse of :func:`encode_request`."""
+) -> Tuple[SearchRequest, Optional[float], str]:
+    """Inverse of :func:`encode_request`; returns
+    ``(request, deadline, tenant)``."""
     r = _Reader(payload)
     policy = _policy(r.u8())
     deadline = _deadline(r.f64())
+    tenant = r.text()
     if ftype is FrameType.SEARCH:
         request: SearchRequest = ExactSearch.from_bits(r.bits(), verify=policy)
     elif ftype is FrameType.WILDCARD:
@@ -373,7 +401,7 @@ def decode_request(
     else:
         raise FramingError(f"frame type {ftype.name} is not a request")
     r.done()
-    return request, deadline
+    return request, deadline, tenant
 
 
 # -- results ------------------------------------------------------------------
@@ -545,6 +573,10 @@ class ServiceStats:
     admit_rejected: int = 0
     #: shards currently degraded (circuit breaker not closed)
     degraded_shards: int = 0
+    #: JSON object of per-tenant accounting rows keyed by tenant id
+    #: ("" when the service is single-tenant) — counters, p50/p99,
+    #: cache residency, pressure evictions, fair-share dispatch counts
+    tenants_json: str = ""
 
 
 def encode_stats(stats: ServiceStats) -> bytes:
@@ -561,6 +593,7 @@ def encode_stats(stats: ServiceStats) -> bytes:
     w.blob(stats.executor.encode("utf-8"))
     w.blob(stats.report_text.encode("utf-8"))
     w.blob(stats.report_json.encode("utf-8"))
+    w.blob(stats.tenants_json.encode("utf-8"))
     return w.bytes()
 
 
@@ -588,6 +621,8 @@ def decode_stats(payload: bytes) -> ServiceStats:
         executor=r.blob().decode("utf-8"),
         report_text=r.blob().decode("utf-8"),
         report_json=r.blob().decode("utf-8"),
+        # trailing blob appended in protocol v2; absent in v1 payloads
+        tenants_json=r.blob().decode("utf-8") if r.remaining() else "",
     )
     r.done()
     return stats
@@ -601,6 +636,7 @@ __all__: List[str] = [
     "ERR_DRAINING",
     "ERR_REMOTE",
     "ERR_SHED",
+    "ERR_TENANT",
     "AdmissionRejectedError",
     "ConnectionLostError",
     "RemoteError",
@@ -608,6 +644,7 @@ __all__: List[str] = [
     "RequestTimeoutError",
     "ServiceDrainingError",
     "ServiceStats",
+    "TenantRejectedError",
     "Welcome",
     "decode_batch_result",
     "decode_error",

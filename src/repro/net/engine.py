@@ -66,6 +66,7 @@ class RemoteEngine(Engine):
         engine: str = "bfv-sharded",
         pool_size: int = 2,
         max_in_flight: int = 64,
+        tenant: str = "",
         **engine_kwargs,
     ):
         self._service_thread = None
@@ -78,7 +79,7 @@ class RemoteEngine(Engine):
                     "(no address given); a remote server owns its own "
                     "engine configuration"
                 )
-            self.client = Client(address, pool_size=pool_size)
+            self.client = Client(address, pool_size=pool_size, tenant=tenant)
         else:
             # self-serving loopback: private service thread + socket
             from .server import ServiceThread
@@ -87,7 +88,9 @@ class RemoteEngine(Engine):
                 engine, max_in_flight=max_in_flight, **engine_kwargs
             ).start()
             self.client = Client(
-                self._service_thread.address, pool_size=pool_size
+                self._service_thread.address,
+                pool_size=pool_size,
+                tenant=tenant,
             )
         self._db_bits: Optional[int] = self.client.welcome.db_bit_length
 

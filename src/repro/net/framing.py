@@ -30,8 +30,11 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 MAGIC = b"CMN1"
-#: wire protocol version, negotiated in the HELLO/WELCOME handshake
-PROTOCOL_VERSION = 1
+#: wire protocol version, negotiated in the HELLO/WELCOME handshake.
+#: v2 added the tenant id to HELLO/WELCOME/request payloads and the
+#: per-tenant accounting blob to STATS (v1 payloads still decode:
+#: the tenant fields read as "").
+PROTOCOL_VERSION = 2
 #: hard bound on one frame's payload (a corrupt length prefix must not
 #: make a reader allocate unbounded memory)
 MAX_PAYLOAD_BYTES = 1 << 30

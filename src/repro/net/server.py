@@ -35,6 +35,7 @@ Concurrency and flow control
 from __future__ import annotations
 
 import asyncio
+import json
 import threading
 from concurrent.futures import Future as _ConcurrentFuture
 from dataclasses import dataclass, field
@@ -52,6 +53,7 @@ from ..faults import (
     install_engine_injector,
 )
 from ..serve.admission import classify_request, coerce_admission
+from ..tenancy.fairness import WeightedFairQueue
 from . import codec
 from .framing import (
     PROTOCOL_VERSION,
@@ -80,6 +82,10 @@ class _InFlight:
     #: admission class ("exact"/"wildcard"/"batch") when the adaptive
     #: controller admitted this request; None when it is disabled
     admission_class: Optional[str] = None
+    #: the controller that admitted it (a tenant's private controller
+    #: on a multi-tenant service, else the global one); release must
+    #: go back to the same controller
+    admission_ctl: Optional[object] = None
     #: loop.time() at admission — feeds the controller's p99 window
     admitted_at: float = 0.0
 
@@ -94,6 +100,9 @@ class _Connection:
     tasks: Set["asyncio.Task"] = field(default_factory=set)
     write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
     closed: bool = False
+    #: tenant this connection authenticated as in HELLO ("" until then,
+    #: and always "" on a single-tenant service)
+    tenant: str = ""
 
     async def send(self, ftype: FrameType, request_id: int, payload: bytes = b"") -> None:
         if self.closed:
@@ -120,11 +129,32 @@ class AsyncSearchService:
         max_in_flight: int = 64,
         admission=None,
         fault_plan=None,
+        tenants=None,
+        fair_concurrency: int = 4,
         **engine_kwargs,
     ):
-        if isinstance(engine, Session) and session is None:
+        #: multi-tenant mode: a :class:`~repro.tenancy.TenantRegistry`
+        #: replaces the single owned session — each connection binds to
+        #: one tenant at HELLO, and admitted requests dispatch through a
+        #: weighted fair queue across tenant sessions
+        self.tenants = tenants
+        if tenants is not None:
+            if session is not None or isinstance(engine, Session):
+                raise TypeError(
+                    "pass either a tenant registry or a session, not both"
+                )
+            if engine_kwargs:
+                raise TypeError(
+                    "engine kwargs configure the registry's sessions; "
+                    "build the TenantRegistry with them instead"
+                )
+            self.session = None
+            self._owns_session = False
+        elif isinstance(engine, Session) and session is None:
             session = engine
-        if session is not None:
+            self.session = session
+            self._owns_session = False
+        elif session is not None:
             if engine_kwargs:
                 raise TypeError(
                     "engine kwargs only apply when the service opens its "
@@ -144,6 +174,26 @@ class AsyncSearchService:
         #: an :class:`~repro.serve.admission.AdmissionController`, a p99
         #: budget in seconds, or a ``{class: seconds}`` mapping
         self.admission = coerce_admission(admission)
+        #: per-tenant admission controllers built from each tenant's
+        #: ``quota.p99_budget`` (tenants without a budget fall back to
+        #: the global controller above)
+        self._tenant_admission: Dict[str, object] = {}
+        #: weighted oldest-deadline fair queue over per-connection
+        #: admission (multi-tenant mode only)
+        self._fair = WeightedFairQueue()
+        if fair_concurrency < 1:
+            raise ValueError(
+                f"fair_concurrency must be >= 1, got {fair_concurrency}"
+            )
+        self._fair_slots = fair_concurrency
+        self._executing = 0
+        if tenants is not None:
+            for tenant in tenants.tenants():
+                self._fair.add_tenant(tenant.tenant_id, tenant.weight)
+                if tenant.quota.p99_budget is not None:
+                    self._tenant_admission[tenant.tenant_id] = (
+                        coerce_admission(tenant.quota.p99_budget)
+                    )
         #: deterministic fault schedule replayed by this service (None →
         #: no injection); accepts a :class:`~repro.faults.FaultPlan`, a
         #: spec string (``"conn_drop@3;shed_storm@10:count=4"``), or a
@@ -188,7 +238,15 @@ class AsyncSearchService:
         if self.fault_injector is not None:
             # Thread the schedule into the backing engine (shard.task
             # sites) and the framing layer (frame.send corruption).
-            install_engine_injector(self.session.engine, self.fault_injector)
+            if self.tenants is not None:
+                for tenant in self.tenants.tenants():
+                    install_engine_injector(
+                        tenant.session.engine, self.fault_injector
+                    )
+            else:
+                install_engine_injector(
+                    self.session.engine, self.fault_injector
+                )
             if any(
                 ev.site == SITE_FRAME_SEND for ev in self.fault_injector.plan
             ):
@@ -239,6 +297,11 @@ class AsyncSearchService:
             await asyncio.get_running_loop().run_in_executor(
                 None, self.session.close
             )
+        elif self.tenants is not None:
+            # close_all is idempotent; joins every tenant dispatcher.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.tenants.close_all
+            )
         if self._drained is not None:
             self._drained.set()
 
@@ -266,20 +329,36 @@ class AsyncSearchService:
 
     # -- stats -----------------------------------------------------------
 
-    def _scheduler(self):
-        """The backing ShardedSearchEngine's scheduler, if there is one."""
-        return getattr(
-            getattr(self.session.engine, "engine", None), "scheduler", None
-        )
+    def _session_for(self, tenant_id: str = "") -> Session:
+        """The session a tenant's work runs on (the single owned
+        session when no registry is configured)."""
+        if self.tenants is None:
+            return self.session
+        return self.tenants.get(tenant_id).session
 
-    def _record_shed(self) -> None:
+    def _scheduler(self, tenant_id: str = ""):
+        """The backing ShardedSearchEngine's scheduler, if there is one."""
+        if self.tenants is not None and (
+            not tenant_id or tenant_id not in self.tenants
+        ):
+            return None
+        engine = self._session_for(tenant_id).engine
+        return getattr(getattr(engine, "engine", None), "scheduler", None)
+
+    def _record_shed(self, tenant_id: str = "") -> None:
         self.shed += 1
-        scheduler = self._scheduler()
+        scheduler = self._scheduler(tenant_id)
         if scheduler is not None:
-            scheduler.record_shed()
+            scheduler.record_shed(
+                tenant=tenant_id if self.tenants is not None else None
+            )
+        if self.tenants is not None and tenant_id in self.tenants:
+            self.tenants.get(tenant_id).accounting.record_shed()
 
     def stats(self) -> codec.ServiceStats:
         """Point-in-time operational snapshot (the STATS frame body)."""
+        if self.tenants is not None:
+            return self._stats_multi_tenant()
         report = getattr(self.session.engine, "last_serve_report", None)
         scheduler = self._scheduler()
         if report is not None:
@@ -326,18 +405,83 @@ class AsyncSearchService:
             report_json=report_json,
         )
 
-    def _welcome(self) -> codec.Welcome:
-        caps = self.session.capabilities
+    def _stats_multi_tenant(self) -> codec.ServiceStats:
+        """Fleet snapshot: aggregates over every tenant, plus the
+        per-tenant breakdown in :attr:`ServiceStats.tenants_json`."""
+        from ..eval.tables import percentile
+
+        rows = self.tenants.accounting_snapshot()
+        merged_window: list = []
+        sched_sheds = sched_admit = 0
+        restarts = degradations = degraded = served = 0
+        hits = misses = 0
+        executor = ""
+        text = report_json = ""
+        for tenant in self.tenants.tenants():
+            tid = tenant.tenant_id
+            rows.setdefault(tid, {})
+            rows[tid]["dispatched"] = self._fair.dispatched(tid)
+            rows[tid]["backlog"] = self._fair.backlog(tid)
+            merged_window.extend(tenant.accounting.latency_window())
+            scheduler = self._scheduler(tid)
+            if scheduler is not None:
+                sched_sheds += scheduler.sheds
+                sched_admit += scheduler.admit_rejected
+            inner = getattr(tenant.session.engine, "engine", None)
+            executor = executor or str(getattr(inner, "executor_kind", "") or "")
+            restarts += int(getattr(inner, "worker_restarts", 0) or 0)
+            degradations += int(getattr(inner, "degraded_tasks", 0) or 0)
+            degraded += len(getattr(inner, "degraded_shards", ()) or ())
+            if tenant.cache is not None:
+                cache_stats = tenant.cache.stats()
+                hits += cache_stats.hits
+                misses += cache_stats.misses
+            report = getattr(tenant.session.engine, "last_serve_report", None)
+            if report is not None:
+                served += report.num_queries
+                if not text:
+                    text = report.summary_table()
+                    report_json = report.to_json()
+        lookups = hits + misses
+        return codec.ServiceStats(
+            active_connections=len(self._connections),
+            total_connections=self.total_connections,
+            accepted=self.accepted,
+            completed=self.completed,
+            shed=self.shed,
+            failed=self.failed,
+            draining=self._draining,
+            scheduler_sheds=sched_sheds,
+            served_queries=served,
+            wall_p50=percentile(merged_window, 50),
+            wall_p95=percentile(merged_window, 95),
+            wall_p99=percentile(merged_window, 99),
+            throughput_qps=0.0,
+            cache_hit_rate=hits / lookups if lookups else 0.0,
+            executor=executor,
+            worker_restarts=restarts,
+            dead_shard_degradations=degradations,
+            admit_rejected=self.admit_rejected,
+            degraded_shards=degraded,
+            report_text=text,
+            report_json=report_json,
+            tenants_json=json.dumps(rows, sort_keys=True),
+        )
+
+    def _welcome(self, tenant_id: str = "") -> codec.Welcome:
+        session = self._session_for(tenant_id)
+        caps = session.capabilities
         return codec.Welcome(
             protocol_version=PROTOCOL_VERSION,
-            engine=self.session.engine_key,
+            engine=session.engine_key,
             scheme=caps.scheme,
             wildcard=caps.wildcard,
             batching=caps.batching,
             sharded=caps.sharded,
             verify=caps.verify,
             max_query_bits=caps.max_query_bits,
-            db_bit_length=self.session.db_bit_length,
+            db_bit_length=session.db_bit_length,
+            tenant=tenant_id,
         )
 
     # -- connection handling ---------------------------------------------
@@ -374,11 +518,23 @@ class AsyncSearchService:
                 # moot, but the session work completes regardless.
                 return
             if frame.type is FrameType.HELLO:
-                codec.decode_hello(frame.payload)  # version check hook
+                _version, hello_tenant = codec.decode_hello(frame.payload)
+                if self.tenants is not None:
+                    if hello_tenant not in self.tenants:
+                        await conn.send(
+                            FrameType.ERROR,
+                            frame.request_id,
+                            codec.encode_error(
+                                codec.ERR_TENANT,
+                                f"unknown tenant {hello_tenant!r}",
+                            ),
+                        )
+                        return
+                    conn.tenant = hello_tenant
                 await conn.send(
                     FrameType.WELCOME,
                     frame.request_id,
-                    codec.encode_welcome(self._welcome()),
+                    codec.encode_welcome(self._welcome(conn.tenant)),
                 )
             elif frame.type in _REQUEST_FRAMES:
                 await self._handle_request(conn, frame)
@@ -445,8 +601,9 @@ class AsyncSearchService:
         *,
         ok: bool = True,
     ) -> None:
-        if self.admission is not None and entry.admission_class is not None:
-            self.admission.release(entry.admission_class, latency, ok=ok)
+        ctl = entry.admission_ctl if entry.admission_ctl is not None else self.admission
+        if ctl is not None and entry.admission_class is not None:
+            ctl.release(entry.admission_class, latency, ok=ok)
 
     async def _handle_request(self, conn: _Connection, frame: Frame) -> None:
         if self._step_request_faults(conn):
@@ -461,7 +618,9 @@ class AsyncSearchService:
             )
             return
         try:
-            request, deadline = codec.decode_request(frame.type, frame.payload)
+            request, deadline, req_tenant = codec.decode_request(
+                frame.type, frame.payload
+            )
         except (FramingError, ValueError) as exc:
             await conn.send(
                 FrameType.ERROR,
@@ -469,6 +628,33 @@ class AsyncSearchService:
                 codec.encode_error(codec.ERR_BAD_FRAME, str(exc)),
             )
             return
+
+        # Multi-tenant: every request bills to the connection's HELLO
+        # tenant; a request naming a *different* tenant is rejected (no
+        # cross-tenant submission on someone else's connection).
+        if self.tenants is not None:
+            if not conn.tenant:
+                await conn.send(
+                    FrameType.ERROR,
+                    frame.request_id,
+                    codec.encode_error(
+                        codec.ERR_TENANT,
+                        "connection is not bound to a tenant "
+                        "(send HELLO with a tenant id first)",
+                    ),
+                )
+                return
+            if req_tenant and req_tenant != conn.tenant:
+                await conn.send(
+                    FrameType.ERROR,
+                    frame.request_id,
+                    codec.encode_error(
+                        codec.ERR_TENANT,
+                        f"request tenant {req_tenant!r} does not match "
+                        f"connection tenant {conn.tenant!r}",
+                    ),
+                )
+                return
 
         loop = asyncio.get_running_loop()
         abs_deadline = (
@@ -479,7 +665,7 @@ class AsyncSearchService:
         # retry/backoff without needing a real overload.
         if self._storm_remaining > 0:
             self._storm_remaining -= 1
-            self._record_shed()
+            self._record_shed(conn.tenant)
             await conn.send(
                 FrameType.ERROR,
                 frame.request_id,
@@ -490,15 +676,22 @@ class AsyncSearchService:
             return
 
         # Adaptive admission: fail-fast before the request consumes an
-        # in-flight slot when its class sits at the AIMD target.
+        # in-flight slot when its class sits at the AIMD target.  On a
+        # multi-tenant service, tenants with a quota p99 budget run
+        # their own controller (per-tenant admission targets).
+        admission = self._tenant_admission.get(conn.tenant, self.admission)
         admission_class: Optional[str] = None
-        if self.admission is not None:
+        if admission is not None:
             admission_class = classify_request(request)
-            if not self.admission.try_admit(admission_class):
+            if not admission.try_admit(admission_class):
                 self.admit_rejected += 1
-                scheduler = self._scheduler()
+                scheduler = self._scheduler(conn.tenant)
                 if scheduler is not None:
-                    scheduler.record_admit_rejected()
+                    scheduler.record_admit_rejected(
+                        tenant=conn.tenant if self.tenants is not None else None
+                    )
+                if self.tenants is not None:
+                    self.tenants.get(conn.tenant).accounting.record_admit_rejected()
                 await conn.send(
                     FrameType.ERROR,
                     frame.request_id,
@@ -511,12 +704,28 @@ class AsyncSearchService:
                 return
 
         if not await self._admit(conn, frame.request_id, abs_deadline):
-            if self.admission is not None and admission_class is not None:
-                self.admission.release(admission_class, None, ok=False)
+            if admission is not None and admission_class is not None:
+                admission.release(admission_class, None, ok=False)
             return
         entry = conn.in_flight[frame.request_id]
         entry.admission_class = admission_class
+        entry.admission_ctl = admission
         entry.admitted_at = loop.time()
+
+        if self.tenants is not None:
+            # Fair dispatch: the request waits in the weighted queue;
+            # _pump moves it onto its tenant's session as slots free.
+            tenant = self.tenants.get(conn.tenant)
+            tenant.accounting.record_accepted()
+            self.accepted += 1
+            cost = float(getattr(request, "num_queries", 1) or 1)
+            self._fair.push(
+                conn.tenant,
+                (conn, entry, request, cost),
+                deadline=entry.deadline,
+            )
+            self._pump()
+            return
 
         try:
             cf_future = self.session.submit(request)
@@ -541,6 +750,57 @@ class AsyncSearchService:
         conn.tasks.add(task)
         task.add_done_callback(conn.tasks.discard)
 
+    def _pump(self) -> None:
+        """Move fair-queue entries onto tenant sessions while executing
+        slots are free.  Runs only on the event loop, so the slot
+        counter needs no lock; every completion re-pumps."""
+        loop = asyncio.get_running_loop()
+        while self._executing < self._fair_slots:
+            popped = self._fair.pop(cost=lambda it: it[3])
+            if popped is None:
+                return
+            tenant_id, (conn, entry, request, _cost) = popped
+            if conn.closed or entry.request_id not in conn.in_flight:
+                continue  # connection died while the request was queued
+            tenant = self.tenants.get(tenant_id)
+            try:
+                cf_future = tenant.session.submit(request)
+            except (CapabilityError, RuntimeError, ValueError, TypeError) as exc:
+                conn.in_flight.pop(entry.request_id, None)
+                self._release_admission(entry, ok=False)
+                tenant.accounting.record_failed()
+                self.failed += 1
+                code = (
+                    codec.ERR_CAPABILITY
+                    if isinstance(exc, CapabilityError)
+                    else codec.ERR_REMOTE
+                )
+                send = conn.send(
+                    FrameType.ERROR,
+                    entry.request_id,
+                    codec.encode_error(code, str(exc)),
+                )
+                task = asyncio.ensure_future(send)
+                conn.tasks.add(task)
+                task.add_done_callback(conn.tasks.discard)
+                continue
+            self._executing += 1
+            future = asyncio.wrap_future(cf_future, loop=loop)
+            entry.cf_future = cf_future
+            task = asyncio.ensure_future(
+                self._respond(conn, entry, future, tenant=tenant)
+            )
+            conn.tasks.add(task)
+            task.add_done_callback(self._make_slot_releaser(conn))
+
+    def _make_slot_releaser(self, conn: _Connection):
+        def _release(task: "asyncio.Task") -> None:
+            conn.tasks.discard(task)
+            self._executing -= 1
+            self._pump()
+
+        return _release
+
     async def _admit(
         self, conn: _Connection, request_id: int, abs_deadline: float
     ) -> bool:
@@ -560,7 +820,7 @@ class AsyncSearchService:
             if victim is None or victim.deadline >= abs_deadline or not (
                 victim.cf_future is not None and victim.cf_future.cancel()
             ):
-                self._record_shed()
+                self._record_shed(conn.tenant)
                 await conn.send(
                     FrameType.ERROR,
                     request_id,
@@ -573,7 +833,7 @@ class AsyncSearchService:
                 return False
             # victim.future.cancel() succeeded; its _respond task will
             # observe the CancelledError and answer ERR_SHED.
-            self._record_shed()
+            self._record_shed(conn.tenant)
             conn.in_flight.pop(victim.request_id, None)
         conn.in_flight[request_id] = _InFlight(
             request_id=request_id, deadline=abs_deadline
@@ -581,12 +841,18 @@ class AsyncSearchService:
         return True
 
     async def _respond(
-        self, conn: _Connection, entry: _InFlight, future: "asyncio.Future"
+        self,
+        conn: _Connection,
+        entry: _InFlight,
+        future: "asyncio.Future",
+        tenant=None,
     ) -> None:
         request_id = entry.request_id
         try:
             outcome = await future
         except asyncio.CancelledError:
+            # the shed was accounted (globally and per-tenant) by the
+            # _admit call that cancelled this future
             conn.in_flight.pop(request_id, None)
             self._release_admission(entry, ok=False)
             await conn.send(
@@ -602,6 +868,8 @@ class AsyncSearchService:
             conn.in_flight.pop(request_id, None)
             self._release_admission(entry, ok=False)
             self.failed += 1
+            if tenant is not None:
+                tenant.accounting.record_failed()
             code = (
                 codec.ERR_CAPABILITY
                 if isinstance(exc, CapabilityError)
@@ -615,9 +883,10 @@ class AsyncSearchService:
             return
         conn.in_flight.pop(request_id, None)
         self.completed += 1
-        self._release_admission(
-            entry, asyncio.get_running_loop().time() - entry.admitted_at
-        )
+        latency = asyncio.get_running_loop().time() - entry.admitted_at
+        if tenant is not None:
+            tenant.accounting.record_completed(latency)
+        self._release_admission(entry, latency)
         ftype, payload = codec.encode_search_outcome(outcome)
         await conn.send(ftype, request_id, payload)
 
@@ -629,6 +898,18 @@ class AsyncSearchService:
                 codec.encode_error(codec.ERR_DRAINING, "service is draining"),
             )
             return
+        if self.tenants is not None and not conn.tenant:
+            await conn.send(
+                FrameType.ERROR,
+                frame.request_id,
+                codec.encode_error(
+                    codec.ERR_TENANT,
+                    "connection is not bound to a tenant "
+                    "(send HELLO with a tenant id first)",
+                ),
+            )
+            return
+        session = self._session_for(conn.tenant)
         try:
             db_bits = codec.decode_outsource(frame.payload)
         except (FramingError, ValueError) as exc:
@@ -642,9 +923,7 @@ class AsyncSearchService:
         try:
             # Packing + encryption is CPU-heavy; keep the loop live.
             async with self._outsource_lock:
-                await loop.run_in_executor(
-                    None, self.session.outsource, db_bits
-                )
+                await loop.run_in_executor(None, session.outsource, db_bits)
         except BaseException as exc:
             self.failed += 1
             await conn.send(
@@ -658,7 +937,7 @@ class AsyncSearchService:
         await conn.send(
             FrameType.OUTSOURCE_OK,
             frame.request_id,
-            codec.encode_outsource_ok(self.session.db_bit_length or 0),
+            codec.encode_outsource_ok(session.db_bit_length or 0),
         )
 
 

@@ -20,16 +20,55 @@ residue-class): the object search kernel stores
 stacked ``(2, n)`` int64 arena rows directly (keyed under a ``"rows"``
 tag so the kernels never collide), which is the form the broadcast
 Hom-Add consumes.
+
+Byte accounting (multi-tenant serving)
+--------------------------------------
+Every entry is sized on insert (:func:`entry_nbytes`) and the cache
+tracks its resident byte total.  A ``max_bytes`` bound adds byte-based
+LRU eviction on top of the entry bound, and a shared ``clock`` — a
+callable returning a monotonically increasing tick, one counter across
+all of a fleet's tenant caches — stamps every touch so the
+:class:`~repro.tenancy.TenantCacheBroker` can find the globally
+coldest resident row when cross-tenant pressure forces an eviction.
 """
 
 from __future__ import annotations
 
+import itertools
+import sys
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Hashable, TypeVar
+from typing import Callable, Hashable, Optional, Tuple, TypeVar
 
 V = TypeVar("V")
+
+
+def entry_nbytes(value: object) -> int:
+    """Best-effort resident size of one cached value, in bytes.
+
+    ndarrays (and anything else exposing an integer ``nbytes``) report
+    their buffer size; tuples/lists sum their elements (the fused
+    kernel caches stacked ``(2, n)`` row pairs); everything else falls
+    back to :func:`sys.getsizeof`.  The figure feeds quota accounting,
+    not allocation — a consistent estimate is all that is required.
+    """
+    nbytes = getattr(value, "nbytes", None)
+    if isinstance(nbytes, int):
+        return nbytes
+    if nbytes is not None:
+        try:
+            return int(nbytes)
+        except (TypeError, ValueError):
+            pass
+    if isinstance(value, (tuple, list)):
+        return sum(entry_nbytes(v) for v in value)
+    # Ciphertext-like objects carry their wire size; prefer it over the
+    # shallow getsizeof of the wrapper object.
+    serialized = getattr(value, "serialized_bytes", None)
+    if isinstance(serialized, int):
+        return serialized
+    return sys.getsizeof(value)
 
 
 @dataclass(frozen=True)
@@ -41,6 +80,10 @@ class CacheStats:
     hits: int
     misses: int
     evictions: int
+    #: resident value bytes (0 for legacy snapshots)
+    current_bytes: int = 0
+    #: byte bound, when one is set (None -> entry bound only)
+    max_bytes: Optional[int] = None
 
     @property
     def lookups(self) -> int:
@@ -51,21 +94,70 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
 
-class VariantCipherCache:
-    """LRU-bounded map from cache keys to encrypted query variants."""
+class _Entry:
+    """One resident value with its size and last-touch tick."""
 
-    def __init__(self, capacity: int = 256):
+    __slots__ = ("value", "nbytes", "last_touch")
+
+    def __init__(self, value: object, nbytes: int, last_touch: int):
+        self.value = value
+        self.nbytes = nbytes
+        self.last_touch = last_touch
+
+
+class VariantCipherCache:
+    """LRU-bounded map from cache keys to encrypted query variants.
+
+    Parameters
+    ----------
+    capacity:
+        Hard entry bound (the historical knob).
+    max_bytes:
+        Optional resident-byte bound; exceeding it evicts LRU entries
+        until the total fits (at least one entry always stays — a
+        single oversized value must remain usable).
+    clock:
+        Callable yielding monotonically increasing integer ticks for
+        last-touch stamps.  Pass one shared counter across many caches
+        (see :class:`~repro.tenancy.TenantCacheBroker`) to make
+        "coldest entry across tenants" a meaningful comparison;
+        defaults to a private counter.
+    on_insert:
+        Called with this cache *after* a miss inserts a value (outside
+        the cache lock) — the broker's hook to apply cross-tenant
+        pressure without entangling locks.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        *,
+        max_bytes: Optional[int] = None,
+        clock: Optional[Callable[[], int]] = None,
+        on_insert: Optional[Callable[["VariantCipherCache"], None]] = None,
+    ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         self.capacity = capacity
-        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.max_bytes = max_bytes
+        self._clock = clock or itertools.count(1).__next__
+        self._on_insert = on_insert
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.current_bytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def values(self) -> list:
+        """Cached values, LRU-first (tests and diagnostics)."""
+        with self._lock:
+            return [entry.value for entry in self._entries.values()]
 
     def get_or_create(self, key: Hashable, factory: Callable[[], V]) -> V:
         """Return the cached value for ``key``, creating it on miss.
@@ -73,24 +165,68 @@ class VariantCipherCache:
         The factory runs under the cache lock (see module docstring), so
         it must not re-enter the cache.
         """
+        inserted = False
         with self._lock:
-            if key in self._entries:
+            entry = self._entries.get(key)
+            if entry is not None:
                 self._entries.move_to_end(key)
+                entry.last_touch = self._clock()
                 self.hits += 1
-                return self._entries[key]  # type: ignore[return-value]
-            self.misses += 1
-            value = factory()
-            self._entries[key] = value
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.evictions += 1
-            return value
+                value = entry.value
+            else:
+                self.misses += 1
+                value = factory()
+                self._entries[key] = _Entry(
+                    value, entry_nbytes(value), self._clock()
+                )
+                self.current_bytes += self._entries[key].nbytes
+                self._evict_over_bounds_locked()
+                inserted = True
+        if inserted and self._on_insert is not None:
+            self._on_insert(self)
+        return value  # type: ignore[return-value]
+
+    def _evict_over_bounds_locked(self) -> None:
+        while len(self._entries) > self.capacity:
+            self._evict_oldest_locked()
+        if self.max_bytes is not None:
+            while (
+                self.current_bytes > self.max_bytes and len(self._entries) > 1
+            ):
+                self._evict_oldest_locked()
+
+    def _evict_oldest_locked(self) -> int:
+        if not self._entries:
+            return 0
+        _, entry = self._entries.popitem(last=False)
+        self.current_bytes -= entry.nbytes
+        self.evictions += 1
+        return entry.nbytes
+
+    # -- cross-tenant pressure surface (TenantCacheBroker) ---------------
+
+    def oldest_entry(self) -> Optional[Tuple[int, int]]:
+        """(last_touch tick, nbytes) of the LRU entry, or None if empty.
+
+        The broker compares these ticks *across* tenant caches sharing
+        one clock to locate the globally coldest resident row.
+        """
+        with self._lock:
+            for entry in self._entries.values():
+                return entry.last_touch, entry.nbytes
+            return None
+
+    def evict_oldest(self) -> int:
+        """Evict the LRU entry; returns the bytes freed (0 if empty)."""
+        with self._lock:
+            return self._evict_oldest_locked()
 
     def clear(self) -> None:
         """Drop all entries (new database outsourced); counters persist
         so long-running serving stats survive re-outsourcing."""
         with self._lock:
             self._entries.clear()
+            self.current_bytes = 0
 
     def stats(self) -> CacheStats:
         with self._lock:
@@ -100,4 +236,6 @@ class VariantCipherCache:
                 hits=self.hits,
                 misses=self.misses,
                 evictions=self.evictions,
+                current_bytes=self.current_bytes,
+                max_bytes=self.max_bytes,
             )

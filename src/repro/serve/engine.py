@@ -225,6 +225,8 @@ class ShardedSearchEngine:
         breaker_threshold: int = 3,
         breaker_cooldown: float = 5.0,
         fault_injector: Optional[FaultInjector] = None,
+        cache: Optional[VariantCipherCache] = None,
+        tenant: str = "",
     ):
         if client is None:
             if config is None:
@@ -246,7 +248,11 @@ class ShardedSearchEngine:
             lambda ctx, shard_id: CPUAdditionBackend(ctx)
         )
         self.max_workers = max_workers
-        self.cache = VariantCipherCache(cache_capacity)
+        self.cache = cache if cache is not None else VariantCipherCache(
+            cache_capacity
+        )
+        #: tenant label stamped into every ServeReport ("" = single-tenant)
+        self.tenant = tenant
         self.scheduler = scheduler or ServeScheduler(
             word_bits=self._word_bits(client.ctx)
         )
@@ -587,6 +593,7 @@ class ShardedSearchEngine:
             sheds=self.scheduler.sheds,
             admit_rejected=self.scheduler.admit_rejected,
             degraded_shards=batch_degraded,
+            tenant=self.tenant,
         )
 
     # -- executor machinery ----------------------------------------------

@@ -343,6 +343,15 @@ class ProcessShardExecutor:
 
     def shutdown(self) -> None:
         """Stop every worker; idempotent, also runs at GC and on the
-        serving layer's SIGTERM drain path (via engine ``close()``)."""
-        self._finalizer.detach()
-        _close_handles(list(self._handles.values()))
+        serving layer's SIGTERM drain path (via engine ``close()``).
+
+        ``detach()`` doubles as the atomic claim: only the caller that
+        actually detaches the finalizer runs ``_close_handles``, so a
+        racing second ``shutdown()`` (engine close + drain + GC can all
+        arrive) never double-releases the workers' pipes or re-joins
+        already-reaped processes."""
+        claimed = self._finalizer.detach()
+        if claimed is None:
+            return
+        _obj, func, args, kwargs = claimed
+        func(*args, **kwargs)

@@ -85,6 +85,8 @@ class ServeReport:
     #: shards that contributed nothing to this batch (circuit breaker
     #: open / terminal worker crash under partial-results mode)
     degraded_shards: List[int] = field(default_factory=list)
+    #: tenant id the serving engine ran under ("" = single-tenant)
+    tenant: str = ""
 
     @property
     def dead_shards(self) -> int:
@@ -130,6 +132,7 @@ class ServeReport:
 
     def summary_table(self) -> str:
         rows = [
+            *([("tenant", self.tenant)] if self.tenant else []),
             ("queries", self.num_queries),
             ("matches", self.total_matches),
             ("Hom-Adds", self.total_hom_additions),
@@ -204,6 +207,8 @@ class ServeReport:
                 "hits": self.cache.hits,
                 "misses": self.cache.misses,
                 "evictions": self.cache.evictions,
+                "current_bytes": self.cache.current_bytes,
+                "max_bytes": self.cache.max_bytes,
             },
             "shards": [asdict(s) for s in self.shards],
             "queue_depth_max": self.queue_depth_max,
@@ -218,6 +223,7 @@ class ServeReport:
             "sheds": self.sheds,
             "admit_rejected": self.admit_rejected,
             "degraded_shards": list(self.degraded_shards),
+            "tenant": self.tenant,
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -260,6 +266,12 @@ class ServeReport:
                 hits=int(cache["hits"]),
                 misses=int(cache["misses"]),
                 evictions=int(cache["evictions"]),
+                current_bytes=int(cache.get("current_bytes", 0)),
+                max_bytes=(
+                    int(cache["max_bytes"])
+                    if cache.get("max_bytes") is not None
+                    else None
+                ),
             ),
             shards=[ShardStats(**s) for s in obj.get("shards", [])],
             queue_depth_max=int(obj["queue_depth_max"]),
@@ -277,6 +289,7 @@ class ServeReport:
             degraded_shards=[
                 int(s) for s in obj.get("degraded_shards", [])
             ],
+            tenant=obj.get("tenant", ""),
         )
 
     @classmethod

@@ -1,0 +1,36 @@
+"""Multi-tenant serving: registry, quotas, shared-budget caches, fairness.
+
+The tenancy layer turns the single-tenant serving stack into a fleet:
+
+* :class:`TenantRegistry` / :class:`TenantSpec` — tenant id ->
+  (keypair, outsourced database, quotas), one private
+  :class:`~repro.api.session.Session` per tenant;
+* :class:`TenantQuota` — cache entry/byte bounds, eviction floor,
+  fair-share weight, optional per-tenant p99 admission budget;
+* :class:`TenantCacheBroker` — one global cache byte budget across all
+  tenants, evicting the globally coldest rows first while never
+  violating a tenant's floor;
+* :class:`WeightedFairQueue` — weighted oldest-deadline dispatch so a
+  hot tenant cannot starve cold ones;
+* :class:`TenantAccounting` — per-tenant outcome counters that
+  partition the global four-term serving invariant.
+
+See ``docs/tenancy.md`` for the full model.
+"""
+
+from .accounting import TenantAccounting
+from .broker import TenantCacheBroker
+from .fairness import WeightedFairQueue
+from .quota import TenantQuota
+from .registry import Tenant, TenantRegistry, TenantSpec, UnknownTenantError
+
+__all__ = [
+    "Tenant",
+    "TenantAccounting",
+    "TenantCacheBroker",
+    "TenantQuota",
+    "TenantRegistry",
+    "TenantSpec",
+    "UnknownTenantError",
+    "WeightedFairQueue",
+]

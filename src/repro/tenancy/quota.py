@@ -1,0 +1,75 @@
+"""Per-tenant resource quotas for the multi-tenant serving fleet.
+
+One :class:`TenantQuota` bundles everything the shared serving process
+bounds *per tenant*: the variant-cache entry bound, the cache-byte
+floor the cross-tenant LRU pressure must never evict below (an idle
+tenant keeps its warm rows), the fair-scheduling weight (its share of
+the fleet under contention), and an optional per-tenant p99 admission
+budget that instantiates a private
+:class:`~repro.serve.admission.AdmissionController` in front of that
+tenant's queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Resource bounds and scheduling share for one tenant.
+
+    Parameters
+    ----------
+    cache_entries:
+        Entry bound on the tenant's private
+        :class:`~repro.serve.cache.VariantCipherCache`.
+    cache_floor_bytes:
+        Resident cache bytes cross-tenant pressure never evicts below.
+        A floor of 0 lets global pressure empty the cache entirely;
+        floors summing above the global budget leave the budget
+        unenforceable (floors always win — see
+        :class:`~repro.tenancy.TenantCacheBroker`).
+    share_weight:
+        Weighted-fair-queueing weight.  A tenant with weight 2 receives
+        twice the dispatch share of a weight-1 tenant while both are
+        backlogged; weights only matter under contention.
+    p99_budget:
+        Optional per-tenant p99 wall-latency budget in seconds; when
+        set, the service runs a private AIMD
+        :class:`~repro.serve.admission.AdmissionController` for this
+        tenant (composing with the per-connection in-flight bound and
+        the weighted-fair dispatch queue).
+    max_cache_bytes:
+        Optional hard byte bound on the tenant's own cache, enforced
+        locally before any cross-tenant pressure applies.
+    """
+
+    cache_entries: int = 256
+    cache_floor_bytes: int = 0
+    share_weight: float = 1.0
+    p99_budget: Optional[float] = None
+    max_cache_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.cache_entries < 1:
+            raise ValueError(
+                f"cache_entries must be >= 1, got {self.cache_entries}"
+            )
+        if self.cache_floor_bytes < 0:
+            raise ValueError(
+                f"cache_floor_bytes must be >= 0, got {self.cache_floor_bytes}"
+            )
+        if not self.share_weight > 0:
+            raise ValueError(
+                f"share_weight must be > 0, got {self.share_weight}"
+            )
+        if self.p99_budget is not None and not self.p99_budget > 0:
+            raise ValueError(
+                f"p99_budget must be > 0 when set, got {self.p99_budget}"
+            )
+        if self.max_cache_bytes is not None and self.max_cache_bytes < 0:
+            raise ValueError(
+                f"max_cache_bytes must be >= 0, got {self.max_cache_bytes}"
+            )

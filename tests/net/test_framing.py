@@ -139,14 +139,16 @@ _BITS = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=96)
 
 @settings(max_examples=50, deadline=None)
 @given(bits=_BITS, policy=_POLICIES,
-       deadline_s=st.one_of(st.none(), st.floats(0, 60)))
-def test_exact_request_roundtrip(bits, policy, deadline_s):
+       deadline_s=st.one_of(st.none(), st.floats(0, 60)),
+       tenant=st.sampled_from(["", "alice", "tenant-7"]))
+def test_exact_request_roundtrip(bits, policy, deadline_s, tenant):
     request = ExactSearch.from_bits(bits, verify=policy)
-    ftype, payload = codec.encode_request(request, deadline_s)
+    ftype, payload = codec.encode_request(request, deadline_s, tenant)
     assert ftype is FrameType.SEARCH
-    decoded, got_deadline = codec.decode_request(ftype, payload)
+    decoded, got_deadline, got_tenant = codec.decode_request(ftype, payload)
     assert decoded == request
     assert got_deadline == deadline_s
+    assert got_tenant == tenant
 
 
 @settings(max_examples=50, deadline=None)
@@ -162,8 +164,9 @@ def test_wildcard_request_roundtrip(data, policy):
     request = WildcardSearch(tuple(bits), tuple(mask), verify=policy)
     ftype, payload = codec.encode_request(request, None)
     assert ftype is FrameType.WILDCARD
-    decoded, _ = codec.decode_request(ftype, payload)
+    decoded, _, tenant = codec.decode_request(ftype, payload)
     assert decoded == request
+    assert tenant == ""
 
 
 @settings(max_examples=30, deadline=None)
@@ -180,11 +183,12 @@ def test_batch_request_roundtrip(queries, policies, batch_policy):
         ),
         verify=batch_policy,
     )
-    ftype, payload = codec.encode_request(request, 2.5)
+    ftype, payload = codec.encode_request(request, 2.5, "bob")
     assert ftype is FrameType.BATCH
-    decoded, deadline_s = codec.decode_request(ftype, payload)
+    decoded, deadline_s, tenant = codec.decode_request(ftype, payload)
     assert decoded == request
     assert deadline_s == 2.5
+    assert tenant == "bob"
 
 
 # -- result payloads ---------------------------------------------------------
@@ -257,6 +261,7 @@ def test_welcome_roundtrip():
         verify=True,
         max_query_bits=None,
         db_bit_length=4096,
+        tenant="alice",
     )
     assert codec.decode_welcome(codec.encode_welcome(welcome)) == welcome
     capped = codec.Welcome(
@@ -320,8 +325,18 @@ def test_stats_roundtrip():
         report_json='{"version": 1, "sheds": 4}',
         admit_rejected=6,
         degraded_shards=1,
+        tenants_json='{"alice": {"completed": 40}}',
     )
     assert codec.decode_stats(codec.encode_stats(stats)) == stats
+
+
+def test_hello_roundtrip_and_v1_compat():
+    assert codec.decode_hello(codec.encode_hello(2, "carol")) == (2, "carol")
+    assert codec.decode_hello(codec.encode_hello(2)) == (2, "")
+    # a protocol-v1 HELLO is the bare 2-byte version word
+    import struct
+
+    assert codec.decode_hello(struct.pack("<H", 1)) == (1, "")
 
 
 def test_request_payload_trailing_bytes_rejected():

@@ -1,0 +1,168 @@
+"""Multi-tenant TCP service: routing, isolation, fairness, accounting.
+
+One AsyncSearchService fronts three tenants, each with its own keypair
+and outsourced database.  The tests drive real clients with tenant
+identities bound at HELLO and assert:
+
+* every tenant's searches hit only its own database (result isolation),
+  and tenant A's key cannot decrypt tenant B's ciphertexts (crypto
+  isolation);
+* unknown / unbound / mismatched tenant identities are rejected with
+  the typed ERR_TENANT error;
+* the STATS frame carries per-tenant accounting rows that partition
+  the global counters.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.he import BFVParams
+from repro.net import Client, ServiceThread
+from repro.net.codec import TenantRejectedError
+from repro.tenancy import TenantRegistry, TenantSpec
+
+PARAMS = BFVParams.test_small(64)
+TENANTS = ("alice", "bob", "carol")
+
+
+def _planted_db(seed: int, bits: int = 32):
+    rng = np.random.default_rng(seed)
+    db = rng.integers(0, 2, 2048).astype(np.uint8)
+    q = rng.integers(0, 2, bits).astype(np.uint8)
+    off = 100 + 37 * seed
+    db[off : off + bits] = q
+    return db, q, off
+
+
+@pytest.fixture(scope="module")
+def tenant_service():
+    registry = TenantRegistry(
+        [
+            TenantSpec.parse("alice:11"),
+            TenantSpec.parse("bob:22:2.0"),
+            TenantSpec.parse("carol:33"),
+        ],
+        params=PARAMS,
+        num_shards=2,
+        global_cache_bytes=4 << 20,
+    )
+    with ServiceThread(tenants=registry) as service:
+        yield service
+
+
+def test_each_tenant_sees_only_its_own_database(tenant_service):
+    plants = {}
+    for seed, tenant in enumerate(TENANTS, start=1):
+        db, q, off = _planted_db(seed)
+        plants[tenant] = (db, q, off)
+        with Client(tenant_service.address, tenant=tenant) as client:
+            assert client.welcome.tenant == tenant
+            client.outsource(db)
+    for tenant in TENANTS:
+        _, own_q, own_off = plants[tenant]
+        with Client(tenant_service.address, tenant=tenant) as client:
+            assert own_off in client.search(own_q).matches
+            # another tenant's planted needle is absent from this db
+            other = TENANTS[(TENANTS.index(tenant) + 1) % 3]
+            _, other_q, other_off = plants[other]
+            assert other_off not in client.search(other_q).matches
+
+
+def test_cross_tenant_key_cannot_decrypt(tenant_service):
+    registry = tenant_service.service.tenants
+    clients = {
+        tid: registry.get(tid).session.engine.engine.client
+        for tid in ("alice", "bob")
+    }
+    ctx = clients["alice"].ctx
+    coeffs = np.arange(PARAMS.n, dtype=np.int64) % PARAMS.t
+    ct = ctx.encrypt(ctx.plaintext(coeffs), clients["alice"].pk)
+    assert np.array_equal(
+        ctx.decrypt(ct, clients["alice"].sk).poly.coeffs, coeffs
+    )
+    assert not np.array_equal(
+        ctx.decrypt(ct, clients["bob"].sk).poly.coeffs, coeffs
+    )
+
+
+def test_unknown_tenant_rejected_at_hello(tenant_service):
+    with pytest.raises(TenantRejectedError):
+        with Client(tenant_service.address, tenant="mallory") as client:
+            client.search(np.ones(8, dtype=np.uint8))
+
+
+def test_unbound_connection_rejected(tenant_service):
+    """A multi-tenant service refuses connections with no tenant id."""
+    with pytest.raises(TenantRejectedError):
+        with Client(tenant_service.address) as client:
+            client.search(np.ones(8, dtype=np.uint8))
+
+
+def test_stats_partition_across_tenants(tenant_service):
+    with ServiceThread(
+        tenants=TenantRegistry(
+            [TenantSpec.parse("a:1"), TenantSpec.parse("b:2")],
+            params=PARAMS,
+            num_shards=1,
+        )
+    ) as service:
+        searches = {"a": 3, "b": 1}
+        for tenant, count in searches.items():
+            db, q, off = _planted_db(ord(tenant) % 7)
+            with Client(service.address, tenant=tenant) as client:
+                client.outsource(db)
+                for _ in range(count):
+                    assert off in client.search(q).matches
+        with Client(service.address, tenant="a") as client:
+            stats = client.stats()
+        rows = json.loads(stats.tenants_json)
+        assert set(rows) == {"a", "b"}
+        for tenant, count in searches.items():
+            assert rows[tenant]["completed"] == count
+            assert rows[tenant]["accepted"] == count
+        # per-tenant rows partition the global counters
+        assert stats.completed == sum(r["completed"] for r in rows.values())
+        assert stats.accepted == sum(r["accepted"] for r in rows.values())
+        assert stats.shed == sum(r["shed"] for r in rows.values())
+        assert rows["a"]["p99_ms"] >= 0.0
+        assert rows["a"]["cache_bytes"] >= 0
+
+
+def test_async_client_binds_tenant(tenant_service):
+    import asyncio
+
+    from repro.net import AsyncClient
+
+    db, q, off = _planted_db(9)
+
+    async def main():
+        client = await AsyncClient.connect(
+            tenant_service.address, tenant="carol"
+        )
+        try:
+            assert client.welcome.tenant == "carol"
+            await client.outsource(db)
+            result = await (await client.submit(q))
+            assert off in result.matches
+        finally:
+            await client.aclose()
+
+    asyncio.run(main())
+
+
+def test_remote_engine_and_session_thread_tenant(tenant_service):
+    """repro.open_session('remote', tenant=...) routes by tenant."""
+    import repro
+
+    db, q, off = _planted_db(4)
+    with repro.open_session(
+        "remote",
+        address=tenant_service.address,
+        tenant="bob",
+        db_bits=db,
+    ) as session:
+        assert off in session.search(q).matches

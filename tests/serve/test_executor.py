@@ -403,3 +403,25 @@ def test_process_engine_constructible_from_clean_interpreter():
     )
     assert proc.returncode == 0, proc.stderr
     assert "spawn-ok" in proc.stdout
+
+
+# -- shutdown idempotency -----------------------------------------------------
+
+
+def test_shutdown_idempotent_across_paths():
+    """Engine close, drain, and GC can all race to shut the process
+    executor down; only the first claim runs the teardown, and repeated
+    shutdowns never double-release worker pipes or re-join corpses."""
+    params, db, queries = _workload(num_polys=2, num_queries=1)
+    engine = _engine(params, executor="process", num_shards=2)
+    with engine:
+        engine.outsource(db)
+        report = engine.search_batch(queries)
+        assert report.reports[0].matches
+        executor = engine._process_executor
+        assert executor is not None
+        executor.shutdown()
+        assert executor._finalizer.detach() is None  # claimed exactly once
+        executor.shutdown()  # second call: no-op
+        executor.shutdown()
+    engine.close()  # engine close after explicit shutdown: still a no-op

@@ -79,7 +79,7 @@ def test_variant_cache_stores_stacked_rows_under_fused():
     engine.search_batch(queries[:2])
     stats = engine.cache.stats()
     assert stats.misses > 0
-    rows = [v for v in engine.cache._entries.values()]
+    rows = engine.cache.values()
     assert rows and all(isinstance(v, np.ndarray) for v in rows)
     assert all(v.shape == (2, params.n) for v in rows)
     # repeated batch: every variant row is a cache hit
@@ -97,7 +97,7 @@ def test_object_kernel_still_caches_ciphertext_objects():
     engine = _engine(params, "object", executor="thread")
     engine.outsource(db)
     engine.search_batch(queries[:1])
-    values = list(engine.cache._entries.values())
+    values = engine.cache.values()
     assert values and all(isinstance(v, Ciphertext) for v in values)
 
 
